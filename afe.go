@@ -1,0 +1,147 @@
+package prio
+
+import (
+	"prio/internal/afe"
+	"prio/internal/field"
+)
+
+// The aggregate statistics of Section 5, instantiated over the deployment
+// field. Each type carries its own strongly-typed Encode and Decode; all
+// satisfy Scheme and plug into Config.Scheme.
+type (
+	// Sum sums b-bit integers (and means via DecodeMean).
+	Sum = afe.Sum[field.F64, uint64]
+	// GeoMean computes products and geometric means via log-domain sums.
+	GeoMean = afe.GeoMean[field.F64, uint64]
+	// Variance computes mean and variance/stddev of b-bit integers.
+	Variance = afe.Variance[field.F64, uint64]
+	// FreqCount computes the full histogram over a small value domain.
+	FreqCount = afe.FreqCount[field.F64, uint64]
+	// BitVector sums vectors of 0/1 survey responses per position.
+	BitVector = afe.BitVector[field.F64, uint64]
+	// IntVector sums vectors of b-bit integers per position.
+	IntVector = afe.IntVector[field.F64, uint64]
+	// LinReg trains a least-squares model on private examples.
+	LinReg = afe.LinReg[field.F64, uint64]
+	// R2 evaluates a public linear model's fit on private examples.
+	R2 = afe.R2[field.F64, uint64]
+	// CountMin estimates frequencies over large domains with a sketch.
+	CountMin = afe.CountMin[field.F64, uint64]
+	// MostPopular recovers a string held by a majority of clients.
+	MostPopular = afe.MostPopular[field.F64, uint64]
+	// Concat composes several statistics into one submission.
+	Concat = afe.Concat[field.F64, uint64]
+)
+
+// The boolean family of Section 5.2 aggregates by XOR in F_2^λ rather than
+// by field addition; it has its own tiny pipeline (encode, XOR-split,
+// XOR-aggregate, decode) because no validation circuit is needed.
+type (
+	// BoolOr computes the OR of one bit per client.
+	BoolOr = afe.BoolOr
+	// BoolAnd computes the AND of one bit per client.
+	BoolAnd = afe.BoolAnd
+	// MinMax computes exact minima/maxima over small ranges.
+	MinMax = afe.MinMax
+	// ApproxMinMax computes c-approximate minima/maxima over huge ranges.
+	ApproxMinMax = afe.ApproxMinMax
+	// SetOp computes set unions and intersections over small universes.
+	SetOp = afe.SetOp
+)
+
+// NewSum constructs the b-bit integer summation statistic (Section 5.2).
+func NewSum(bits int) *Sum { return afe.NewSum(field.NewF64(), bits) }
+
+// NewGeoMean constructs the product/geometric-mean statistic with the given
+// fixed-point log encoding (Section 5.2).
+func NewGeoMean(bits, fracBits int) *GeoMean {
+	return afe.NewGeoMean(field.NewF64(), bits, fracBits)
+}
+
+// NewVariance constructs the variance/stddev statistic for b-bit integers
+// (Section 5.2).
+func NewVariance(bits int) *Variance { return afe.NewVariance(field.NewF64(), bits) }
+
+// NewFreqCount constructs the histogram statistic over B buckets
+// (Section 5.2).
+func NewFreqCount(buckets int) *FreqCount { return afe.NewFreqCount(field.NewF64(), buckets) }
+
+// NewBitVector constructs the L-question boolean survey statistic
+// (Section 6.1's workload).
+func NewBitVector(l int) *BitVector { return afe.NewBitVector(field.NewF64(), l) }
+
+// NewIntVector constructs the per-position sum of L b-bit integers (the
+// cell-signal workload of Section 6.2).
+func NewIntVector(l, bits int) *IntVector {
+	return afe.NewIntVector(field.NewF64(), l, bits)
+}
+
+// NewLinReg constructs private least-squares regression with per-feature
+// bit widths (Section 5.3).
+func NewLinReg(xBits []int, yBits int) *LinReg {
+	return afe.NewLinReg(field.NewF64(), xBits, yBits)
+}
+
+// NewLinRegUniform is NewLinReg with d features of b bits each.
+func NewLinRegUniform(d, b int) *LinReg {
+	return afe.NewLinRegUniform(field.NewF64(), d, b)
+}
+
+// NewR2 constructs the model-evaluation statistic for a public integer
+// linear model (Appendix G).
+func NewR2(model []int64, xBits []int, yBits int) *R2 {
+	return afe.NewR2(field.NewF64(), model, xBits, yBits)
+}
+
+// NewCountMin constructs the approximate-count sketch statistic: estimates
+// within ε·n except with probability δ (Appendix G).
+func NewCountMin(epsilon, delta float64) *CountMin {
+	return afe.NewCountMin(field.NewF64(), epsilon, delta)
+}
+
+// NewMostPopular constructs the majority-string statistic for b-bit strings
+// (Appendix G).
+func NewMostPopular(bits int) *MostPopular {
+	return afe.NewMostPopular(field.NewF64(), bits)
+}
+
+// NewConcat composes several statistics into a single submission with one
+// merged validity proof.
+func NewConcat(name string, parts ...Scheme) *Concat {
+	return afe.NewConcat(field.NewF64(), name, parts...)
+}
+
+// NewBoolOr constructs the boolean-OR statistic with security parameter
+// lambda (Section 5.2; the paper suggests 80 or 128).
+func NewBoolOr(lambda int) *BoolOr { return afe.NewBoolOr(lambda) }
+
+// NewBoolAnd constructs the boolean-AND statistic.
+func NewBoolAnd(lambda int) *BoolAnd { return afe.NewBoolAnd(lambda) }
+
+// NewMax constructs the exact maximum over {0..B-1}.
+func NewMax(b, lambda int) *MinMax { return afe.NewMax(b, lambda) }
+
+// NewMin constructs the exact minimum over {0..B-1}.
+func NewMin(b, lambda int) *MinMax { return afe.NewMin(b, lambda) }
+
+// NewApproxMax constructs a c-approximate maximum over {0..B-1} for large B.
+func NewApproxMax(b uint64, c float64, lambda int) *ApproxMinMax {
+	return afe.NewApproxMax(b, c, lambda)
+}
+
+// NewApproxMin constructs a c-approximate minimum.
+func NewApproxMin(b uint64, c float64, lambda int) *ApproxMinMax {
+	return afe.NewApproxMin(b, c, lambda)
+}
+
+// NewSetUnion constructs set union over a B-element universe.
+func NewSetUnion(b, lambda int) *SetOp { return afe.NewSetUnion(b, lambda) }
+
+// NewSetIntersection constructs set intersection.
+func NewSetIntersection(b, lambda int) *SetOp { return afe.NewSetIntersection(b, lambda) }
+
+// XorAggregate folds an XOR-family encoding or share into an accumulator.
+func XorAggregate(acc, enc []uint64) { afe.XorAggregate(acc, enc) }
+
+// XorSplit splits an XOR-family encoding into s shares (one per server).
+func XorSplit(enc []uint64, s int) ([][]uint64, error) { return afe.XorSplit(enc, s) }

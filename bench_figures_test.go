@@ -1,0 +1,243 @@
+package prio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"prio"
+	"prio/internal/afe"
+	"prio/internal/baseline"
+	"prio/internal/core"
+	"prio/internal/field"
+	"prio/internal/nizk"
+)
+
+// BenchmarkTable3_Client measures client submission generation for L
+// four-bit integers across field implementations (Table 3's field-size
+// comparison; FP87/FP265 are the paper's exact field widths).
+func BenchmarkTable3_Client(b *testing.B) {
+	for _, l := range []int{10, 100} {
+		benchTable3Client(b, "F64", field.NewF64(), l)
+		benchTable3Client(b, "F128", field.NewF128(), l)
+		benchTable3Client(b, "FP87", field.NewFP87(), l)
+		benchTable3Client(b, "FP265", field.NewFP265(), l)
+	}
+}
+
+// benchTable3Client runs one (field, L) cell of Table 3.
+func benchTable3Client[Fd field.Field[E], E any](b *testing.B, name string, f Fd, l int) {
+	b.Run(fmt.Sprintf("%s/L=%d", name, l), func(b *testing.B) {
+		scheme := afe.NewIntVector(f, l, 4)
+		pro, err := core.NewProtocol(core.Config[Fd, E]{
+			Field: f, Scheme: scheme, Servers: 5, Mode: core.ModeSNIP, SnipReps: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := core.NewClient(pro, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vals := make([]uint64, l)
+		enc, err := scheme.Encode(vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.BuildSubmission(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4 measures cluster throughput (5 servers) versus submission
+// length, for the schemes of Figure 4. NIZK appears via the Table 2 server
+// benchmark (per-submission verification is the bottleneck).
+func BenchmarkFig4(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    prio.Mode
+	}{
+		{"NoRobust", prio.ModeNoRobustness},
+		{"Prio", prio.ModePrio},
+		{"PrioMPC", prio.ModePrioMPC},
+	} {
+		for _, l := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("%s/L=%d", mode.name, l), func(b *testing.B) {
+				scheme := prio.NewBitVector(l)
+				cluster, client := benchDeployment(b, scheme, 5, mode.m)
+				enc := bitEncoding(b, scheme, l)
+				throughputBench(b, cluster, client, enc, 8)
+			})
+		}
+	}
+	for _, l := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("NoPriv/L=%d", l), func(b *testing.B) {
+			srv, err := baseline.NewNoPrivServer(field.NewF64(), l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blob, err := baseline.BuildSubmission(field.NewF64(), srv.PublicKey(), make([]uint64, l))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Handle(baseline.MsgSubmit, blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "subs/s")
+		})
+	}
+}
+
+// BenchmarkFig5 measures throughput against server count for the
+// 1024-question survey workload of Figure 5.
+func BenchmarkFig5(b *testing.B) {
+	const l = 1024
+	for _, s := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("servers=%d", s), func(b *testing.B) {
+			scheme := prio.NewBitVector(l)
+			cluster, client := benchDeployment(b, scheme, s, prio.ModePrio)
+			enc := bitEncoding(b, scheme, l)
+			throughputBench(b, cluster, client, enc, 8)
+		})
+	}
+}
+
+// BenchmarkFig6 measures the bytes a non-leader server transmits per
+// submission (Figure 6's y-axis, reported as the bytes/sub metric).
+func BenchmarkFig6(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    prio.Mode
+	}{
+		{"Prio", prio.ModePrio},
+		{"PrioMPC", prio.ModePrioMPC},
+	} {
+		for _, l := range []int{16, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/L=%d", mode.name, l), func(b *testing.B) {
+				scheme := prio.NewBitVector(l)
+				cluster, client := benchDeployment(b, scheme, 5, mode.m)
+				enc := bitEncoding(b, scheme, l)
+				sub, err := client.BuildSubmission(enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.Leader.ProcessBatch([]*prio.Submission{sub}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := cluster.Leader.PeerStats(1)
+				b.ReportMetric(float64(st.BytesRecv)/float64(b.N), "bytes/sub")
+			})
+		}
+	}
+	for _, l := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("NIZK/L=%d", l), func(b *testing.B) {
+			// The NIZK transfer is deterministic; report it for the series.
+			for i := 0; i < b.N; i++ {
+				_ = nizk.SubmissionBytes(l)
+			}
+			b.ReportMetric(float64(nizk.SubmissionBytes(l)), "bytes/sub")
+		})
+	}
+}
+
+// BenchmarkFig7 measures client encoding time for the application scenarios
+// of Figure 7 (Prio mode; the harness prints the NIZK/SNARK columns).
+func BenchmarkFig7(b *testing.B) {
+	apps := []struct {
+		name   string
+		scheme prio.Scheme
+		enc    func(b *testing.B) []uint64
+	}{
+		{"Cell-Geneva", prio.NewIntVector(16, 4), func(b *testing.B) []uint64 {
+			enc, err := prio.NewIntVector(16, 4).Encode(make([]uint64, 16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return enc
+		}},
+		{"Survey-CPI434", prio.NewBitVector(434), func(b *testing.B) []uint64 {
+			return bitEncoding(b, prio.NewBitVector(434), 434)
+		}},
+		{"LinReg-BrCa", prio.NewLinRegUniform(30, 14), func(b *testing.B) []uint64 {
+			enc, err := prio.NewLinRegUniform(30, 14).Encode(make([]uint64, 30), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return enc
+		}},
+	}
+	for _, app := range apps {
+		b.Run(app.name, func(b *testing.B) {
+			_, client := benchDeployment(b, app.scheme, 5, prio.ModePrio)
+			enc := app.enc(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.BuildSubmission(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8 measures client encoding time versus regression dimension
+// (Figure 8).
+func BenchmarkFig8(b *testing.B) {
+	for _, d := range []int{2, 6, 12} {
+		for _, mode := range []struct {
+			name string
+			m    prio.Mode
+		}{
+			{"NoRobust", prio.ModeNoRobustness},
+			{"Prio", prio.ModePrio},
+		} {
+			b.Run(fmt.Sprintf("%s/d=%d", mode.name, d), func(b *testing.B) {
+				scheme := prio.NewLinRegUniform(d, 14)
+				_, client := benchDeployment(b, scheme, 5, mode.m)
+				enc, err := scheme.Encode(make([]uint64, d), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := client.BuildSubmission(enc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable9 measures d-dimensional regression throughput (Table 9).
+func BenchmarkTable9(b *testing.B) {
+	for _, d := range []int{2, 6, 12} {
+		for _, mode := range []struct {
+			name string
+			m    prio.Mode
+		}{
+			{"NoRobust", prio.ModeNoRobustness},
+			{"Prio", prio.ModePrio},
+		} {
+			b.Run(fmt.Sprintf("%s/d=%d", mode.name, d), func(b *testing.B) {
+				scheme := prio.NewLinRegUniform(d, 14)
+				cluster, client := benchDeployment(b, scheme, 5, mode.m)
+				enc, err := scheme.Encode(make([]uint64, d), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughputBench(b, cluster, client, enc, 8)
+			})
+		}
+	}
+}

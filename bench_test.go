@@ -1,0 +1,161 @@
+// Benchmarks regenerating the paper's evaluation artifacts as testing.B
+// targets (one family per table/figure; cmd/prio-bench prints the same
+// results as formatted tables). Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Sub-benchmarks are named after the experiment and parameter, e.g.
+// BenchmarkFig4_Prio/L=1024. Custom metrics carry the figure's y-axis where
+// it is not time: submissions/s for the throughput figures and bytes/sub for
+// Figure 6.
+package prio_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"prio"
+	"prio/internal/nizk"
+	"prio/internal/snarkcost"
+)
+
+// benchDeployment builds an in-process cluster for benchmarks.
+func benchDeployment(b *testing.B, scheme prio.Scheme, servers int, mode prio.Mode) (*prio.Cluster, *prio.Client) {
+	b.Helper()
+	pro, err := prio.NewProtocol(prio.Config{
+		Scheme:  scheme,
+		Servers: servers,
+		Mode:    mode,
+		Reps:    1, // match the paper's single identity test
+		Seal:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := prio.NewLocalCluster(pro)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := prio.NewClient(pro, cluster.PublicKeys(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cluster, client
+}
+
+// bitEncoding builds a random valid BitVector encoding.
+func bitEncoding(b *testing.B, scheme *prio.BitVector, l int) []uint64 {
+	b.Helper()
+	bits := make([]bool, l)
+	buf := make([]byte, (l+7)/8)
+	if _, err := rand.Read(buf); err != nil {
+		b.Fatal(err)
+	}
+	for i := range bits {
+		bits[i] = buf[i/8]&(1<<uint(i%8)) != 0
+	}
+	enc, err := scheme.Encode(bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+// throughputBench processes pre-built submissions in batches and reports
+// submissions/s.
+func throughputBench(b *testing.B, cluster *prio.Cluster, client *prio.Client, enc []uint64, batch int) {
+	b.Helper()
+	subs := make([]*prio.Submission, batch)
+	for i := range subs {
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Leader.ProcessBatch(subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "subs/s")
+}
+
+// BenchmarkTable2_SNIPClient measures SNIP proof generation for the 0/1
+// vector statement of Table 2 (client side).
+func BenchmarkTable2_SNIPClient(b *testing.B) {
+	for _, m := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			scheme := prio.NewBitVector(m)
+			_, client := benchDeployment(b, scheme, 5, prio.ModePrio)
+			enc := bitEncoding(b, scheme, m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.BuildSubmission(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_NIZKClient measures the discrete-log NIZK client for the
+// same statement (encrypt + prove per bit).
+func BenchmarkTable2_NIZKClient(b *testing.B) {
+	ks, err := nizk.GenerateKeyShare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	joint := nizk.JointKey([]nizk.Point{ks.Pub})
+	for _, m := range []int{16, 64} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			bits := make([]bool, m)
+			for i := range bits {
+				bits[i] = i%2 == 0
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nizk.NewSubmission(joint, bits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_NIZKServer measures NIZK proof verification (server side).
+func BenchmarkTable2_NIZKServer(b *testing.B) {
+	ks, err := nizk.GenerateKeyShare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	joint := nizk.JointKey([]nizk.Point{ks.Pub})
+	for _, m := range []int{16, 64} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			bits := make([]bool, m)
+			sub, err := nizk.NewSubmission(joint, bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sub.Verify(joint) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_SNARKEstimate times the cost-model calibration (the
+// estimate itself is arithmetic; what costs is measuring the host's
+// exponentiation speed, reported as the per-exp metric).
+func BenchmarkTable2_SNARKEstimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cost := snarkcost.MeasureExpCost(4)
+		_ = snarkcost.EstimateProofTime(1024, 1024, 5, cost)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prio/internal/afe"
+	"prio/internal/core"
+	"prio/internal/field"
+	"prio/internal/snarkcost"
+)
+
+// fig7App is one bar group of Figure 7: an application workload with its
+// Valid-circuit size and a valid encoding for it.
+type fig7App struct {
+	group  string
+	name   string
+	scheme afe.Scheme[uint64]
+	enc    []uint64
+}
+
+// buildFig7Apps configures the paper's application scenarios:
+//
+//	Cell    — per-grid-cell 4-bit signal strength; grid sizes chosen so the
+//	          multiplication-gate counts match the paper's (64 … 8760);
+//	Browser — count-min sketches at the paper's low/high-resolution points
+//	          plus two 7-bit usage averages;
+//	Survey  — Beck-21 and PCSI-78 (1-4 scale → one-hot over 4), CPI-434
+//	          (booleans), matching the paper's 84/312/434 gates;
+//	LinReg  — the heart-disease (13 mixed-width features, 174 gates) and
+//	          breast-cancer (30×14-bit, 930 gates) model shapes.
+func buildFig7Apps() []fig7App {
+	var apps []fig7App
+
+	cell := func(name string, cells int) {
+		s := afe.NewIntVector(f64, cells, 4)
+		vals := make([]uint64, cells)
+		enc, err := s.Encode(vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, fig7App{"Cell", name, s, enc})
+	}
+	cell("Geneva", 16)
+	cell("Seattle", 217)
+	if *full {
+		cell("Chicago", 606)
+		cell("London", 1570)
+		cell("Tokyo", 2190)
+	}
+
+	browser := func(name string, eps, delta float64) {
+		cpu := afe.NewSum(f64, 7)
+		mem := afe.NewSum(f64, 7)
+		cm := afe.NewCountMin(f64, eps, delta)
+		s := afe.NewConcat[field.F64, uint64](f64, name, cpu, mem, cm)
+		ce, _ := cpu.Encode(42)
+		me, _ := mem.Encode(63)
+		ue, err := cm.Encode([]byte("example.org"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc, err := s.Pack(ce, me, ue)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, fig7App{"Browser", name, s, enc})
+	}
+	browser("LowRes", 0.1, 1.0/1024)
+	if *full {
+		browser("HighRes", 0.01, 1.0/(1<<20))
+	}
+
+	survey4 := func(name string, questions int) {
+		parts := make([]afe.Scheme[uint64], questions)
+		encs := make([][]uint64, questions)
+		for q := 0; q < questions; q++ {
+			fc := afe.NewFreqCount(f64, 4)
+			parts[q] = fc
+			e, err := fc.Encode(q % 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			encs[q] = e
+		}
+		s := afe.NewConcat[field.F64, uint64](f64, name, parts...)
+		enc, err := s.Pack(encs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, fig7App{"Survey", name, s, enc})
+	}
+	survey4("Beck-21", 21)
+	survey4("PCSI-78", 78)
+	{
+		s := afe.NewBitVector(f64, 434)
+		enc := randomBits(s, 434)
+		apps = append(apps, fig7App{"Survey", "CPI-434", s, enc})
+	}
+
+	{
+		// Heart: 13 features of varying types (some boolean, some
+		// continuous), widths chosen to land on the paper's 174 gates.
+		widths := []int{1, 1, 1, 1, 1, 4, 4, 4, 8, 8, 8, 10, 10}
+		s := afe.NewLinReg(f64, widths, 8)
+		x := make([]uint64, len(widths))
+		enc, err := s.Encode(x, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, fig7App{"LinReg", "Heart", s, enc})
+	}
+	{
+		s := afe.NewLinRegUniform(f64, 30, 14)
+		x := make([]uint64, 30)
+		enc, err := s.Encode(x, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, fig7App{"LinReg", "BrCa", s, enc})
+	}
+	return apps
+}
+
+// fig7 reproduces Figure 7: client encoding time per application for Prio,
+// Prio-MPC, the NIZK scheme (measured per-gate cost × gate count, i.e. the
+// paper's 2M-exponentiation model), and the SNARK estimate.
+func fig7() {
+	fmt.Println("== Figure 7: client encoding time per application ==")
+	model := measureNIZK()
+	expCost := snarkcost.MeasureExpCost(16)
+	apps := buildFig7Apps()
+
+	fmt.Printf("%-8s %-10s %6s | %-10s %-10s %-10s %-12s\n",
+		"group", "app", "Mgate", "prio", "prio-mpc", "nizk*", "snark-est")
+	for _, app := range apps {
+		m := app.scheme.Circuit().M()
+
+		dP := newDeployment(app.scheme, 5, core.ModeSNIP, true)
+		prioTime := timePerOp(150*time.Millisecond, func() {
+			if _, err := dP.client.BuildSubmission(app.enc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		dM := newDeployment(app.scheme, 5, core.ModeMPC, true)
+		mpcTime := timePerOp(150*time.Millisecond, func() {
+			if _, err := dM.client.BuildSubmission(app.enc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		nizkTime := time.Duration(m) * model.clientPerBit
+		snarkTime := snarkcost.EstimateProofTime(m, app.scheme.K(), 5, expCost)
+
+		fmt.Printf("%-8s %-10s %6d | %-10s %-10s %-10s %-12s\n",
+			app.group, app.name, m,
+			fmtDur(prioTime), fmtDur(mpcTime), fmtDur(nizkTime), fmtDur(snarkTime))
+	}
+	fmt.Println("\n(*) NIZK = measured per-gate proof cost × M (the paper's 2M-exp model).")
+	fmt.Println("shape check: prio ≪ nizk ≪ snark for every application, gaps growing with M.")
+}

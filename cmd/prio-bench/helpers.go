@@ -1,0 +1,200 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"prio/internal/afe"
+	"prio/internal/baseline"
+	"prio/internal/core"
+	"prio/internal/field"
+	"prio/internal/nizk"
+)
+
+// f64 is the deployment field for every experiment except Table 3's field
+// comparison.
+var f64 = field.NewF64()
+
+type deployment struct {
+	pro     *core.Protocol[field.F64, uint64]
+	cluster *core.Cluster[field.F64, uint64]
+	client  *core.Client[field.F64, uint64]
+}
+
+// newDeployment builds an in-process cluster; it dies on configuration
+// errors (the harness controls all inputs).
+func newDeployment(scheme afe.Scheme[uint64], servers int, mode core.Mode, seal bool) *deployment {
+	pro, err := core.NewProtocol(core.Config[field.F64, uint64]{
+		Field:    f64,
+		Scheme:   scheme,
+		Servers:  servers,
+		Mode:     mode,
+		SnipReps: 1, // match the paper's single identity test per submission
+		Seal:     seal,
+	})
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	cluster, err := core.NewLocalCluster(pro)
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	client, err := core.NewClient(pro, cluster.PublicKeys(), nil)
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	return &deployment{pro: pro, cluster: cluster, client: client}
+}
+
+// buildSubs pre-generates count submissions of the given encoding, as the
+// paper's load generators pre-generate client packets.
+func (d *deployment) buildSubs(enc []uint64, count int) []*core.Submission {
+	subs := make([]*core.Submission, count)
+	for i := range subs {
+		sub, err := d.client.BuildSubmission(enc)
+		if err != nil {
+			log.Fatalf("prio-bench: %v", err)
+		}
+		subs[i] = sub
+	}
+	return subs
+}
+
+// throughput processes the submissions in batches and returns
+// submissions/second.
+func (d *deployment) throughput(subs []*core.Submission, batch int) float64 {
+	start := time.Now()
+	for off := 0; off < len(subs); off += batch {
+		end := off + batch
+		if end > len(subs) {
+			end = len(subs)
+		}
+		if _, err := d.cluster.Leader.ProcessBatch(subs[off:end]); err != nil {
+			log.Fatalf("prio-bench: %v", err)
+		}
+	}
+	return float64(len(subs)) / time.Since(start).Seconds()
+}
+
+// timePerOp runs fn repeatedly until minDur has elapsed and returns the mean
+// duration per call (with one warm-up call).
+func timePerOp(minDur time.Duration, fn func()) time.Duration {
+	fn() // warm up
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		fn()
+		iters++
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// noPrivThroughput measures the no-privacy baseline: one server ingesting
+// sealed plaintext vectors of length k.
+func noPrivThroughput(k, count int) float64 {
+	srv, err := baseline.NewNoPrivServer(f64, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec := make([]uint64, k)
+	blobs := make([][]byte, count)
+	for i := range blobs {
+		b, err := baseline.BuildSubmission(f64, srv.PublicKey(), vec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blobs[i] = b
+	}
+	start := time.Now()
+	for _, b := range blobs {
+		if _, err := srv.Handle(baseline.MsgSubmit, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return float64(count) / time.Since(start).Seconds()
+}
+
+// nizkCosts measures the NIZK baseline's per-bit client and server costs
+// once; experiments scale them by the bit count.
+type nizkCostModel struct {
+	clientPerBit time.Duration
+	serverPerBit time.Duration
+}
+
+var nizkModel *nizkCostModel
+
+func measureNIZK() *nizkCostModel {
+	if nizkModel != nil {
+		return nizkModel
+	}
+	ks, err := nizk.GenerateKeyShare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	joint := nizk.JointKey([]nizk.Point{ks.Pub})
+	const probe = 16
+	bits := make([]bool, probe)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	var sub *nizk.Submission
+	client := timePerOp(200*time.Millisecond, func() {
+		s, err := nizk.NewSubmission(joint, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub = s
+	})
+	server := timePerOp(200*time.Millisecond, func() {
+		if !sub.Verify(joint) {
+			log.Fatal("nizk probe verify failed")
+		}
+	})
+	nizkModel = &nizkCostModel{clientPerBit: client / probe, serverPerBit: server / probe}
+	return nizkModel
+}
+
+// randomBits builds an L-bit encoding for the BitVector scheme.
+func randomBits(scheme *afe.BitVector[field.F64, uint64], l int) []uint64 {
+	bits := make([]bool, l)
+	buf := make([]byte, (l+7)/8)
+	if _, err := rand.Read(buf); err != nil {
+		log.Fatal(err)
+	}
+	for i := range bits {
+		bits[i] = buf[i/8]&(1<<uint(i%8)) != 0
+	}
+	enc, err := scheme.Encode(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return enc
+}
+
+// fmtDur renders a duration in engineering style (µs/ms/s).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%.0fns", float64(d.Nanoseconds()))
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// fmtBytes renders a byte count.
+func fmtBytes(b float64) string {
+	switch {
+	case b < 1024:
+		return fmt.Sprintf("%.0fB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", b/1024)
+	default:
+		return fmt.Sprintf("%.2fMiB", b/(1<<20))
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"prio/internal/afe"
+	"prio/internal/core"
+	"prio/internal/field"
+)
+
+// table3 reproduces Table 3: the time for a client to generate a Prio
+// submission of L four-bit integers, across field sizes. The paper compares
+// an 87-bit and a 265-bit FFT-friendly field (FLINT-backed); we run the same
+// moduli through the generic big-integer field, plus the specialized 64-bit
+// and 128-bit fields a production deployment would use. The paper's headline
+// shape — per-field-multiplication cost drives client time, and the larger
+// field costs a constant factor more — carries over directly.
+func table3() {
+	fmt.Println("== Table 3: client submission-generation time, L four-bit integers ==")
+	sizes := []int{10, 100, 1000}
+	fmt.Printf("%-8s | %-12s | %-12s | %-12s | %-12s\n", "", "F64", "F128", "FP87", "FP265")
+
+	mulRow := fmt.Sprintf("%-8s |", "mul(µs)")
+	mulRow += fmt.Sprintf(" %-12s |", fmtDur(fieldMulCost(field.NewF64())))
+	mulRow += fmt.Sprintf(" %-12s |", fmtDur(fieldMulCost(field.NewF128())))
+	mulRow += fmt.Sprintf(" %-12s |", fmtDur(fieldMulCost(field.NewFP87())))
+	mulRow += fmt.Sprintf(" %-12s", fmtDur(fieldMulCost(field.NewFP265())))
+	fmt.Println(mulRow)
+
+	for _, l := range sizes {
+		row := fmt.Sprintf("L = %-4d |", l)
+		row += fmt.Sprintf(" %-12s |", fmtDur(clientTime(field.NewF64(), l)))
+		row += fmt.Sprintf(" %-12s |", fmtDur(clientTime(field.NewF128(), l)))
+		row += fmt.Sprintf(" %-12s |", fmtDur(clientTime(field.NewFP87(), l)))
+		row += fmt.Sprintf(" %-12s", fmtDur(clientTime(field.NewFP265(), l)))
+		fmt.Println(row)
+	}
+	fmt.Println("\nshape check: client time scales ~linearly in L (M = 4L gates) and")
+	fmt.Println("tracks the per-multiplication cost of the field, as in the paper.")
+}
+
+// fieldMulCost times one field multiplication.
+func fieldMulCost[Fd field.Field[E], E any](f Fd) time.Duration {
+	a, err := f.SampleElem(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := f.SampleElem(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const inner = 1000
+	per := timePerOp(100*time.Millisecond, func() {
+		acc := a
+		for i := 0; i < inner; i++ {
+			acc = f.Mul(acc, b)
+		}
+		a = acc
+	})
+	return per / inner
+}
+
+// clientTime measures BuildSubmission over field f for L four-bit integers
+// with the paper's five servers.
+func clientTime[Fd field.Field[E], E any](f Fd, l int) time.Duration {
+	scheme := afe.NewIntVector(f, l, 4)
+	pro, err := core.NewProtocol(core.Config[Fd, E]{
+		Field:    f,
+		Scheme:   scheme,
+		Servers:  5,
+		Mode:     core.ModeSNIP,
+		SnipReps: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.NewClient(pro, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := make([]uint64, l)
+	for i := range values {
+		values[i] = uint64(i % 16)
+	}
+	enc, err := scheme.Encode(values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := 150 * time.Millisecond
+	if f.Bits() > 128 {
+		budget = 400 * time.Millisecond // big.Int fields are slow; fewer iters
+	}
+	return timePerOp(budget, func() {
+		if _, err := client.BuildSubmission(enc); err != nil {
+			log.Fatal(err)
+		}
+	})
+}

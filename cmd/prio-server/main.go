@@ -1,0 +1,240 @@
+// Command prio-server runs one Prio aggregation server over TCP.
+//
+// Every server in a deployment starts with the same statistic configuration
+// and its own index. The server with index 0 additionally acts as leader: it
+// accepts client submissions, relays sealed shares, drives verification in
+// batches, and prints the decoded aggregate on an interval. Example
+// three-server deployment of a 434-question survey:
+//
+//	prio-server -index 2 -listen :7002 -servers 3 -scheme bits434
+//	prio-server -index 1 -listen :7001 -servers 3 -scheme bits434
+//	prio-server -index 0 -listen :7000 -scheme bits434 \
+//	    -peers localhost:7000,localhost:7001,localhost:7002 \
+//	    -batch 16 -publish-every 30s
+//
+// Clients submit with prio-client pointed at the leader.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"strings"
+	"sync"
+	"time"
+
+	"prio"
+	"prio/internal/core"
+	"prio/internal/transport"
+)
+
+var (
+	index        = flag.Int("index", 0, "this server's index (0 = leader)")
+	listen       = flag.String("listen", ":7000", "address to listen on")
+	peersFlag    = flag.String("peers", "", "comma-separated server addresses in index order (leader only)")
+	schemeFlag   = flag.String("scheme", "sum8", "statistic spec (see prio.ParseScheme)")
+	servers      = flag.Int("servers", 0, "server count (default: inferred from -peers)")
+	modeFlag     = flag.String("mode", "prio", "validation mode: prio, prio-mpc, no-robust")
+	batch        = flag.Int("batch", 16, "submissions per verification batch (leader)")
+	publishEvery = flag.Duration("publish-every", 30*time.Second, "aggregate publication interval (leader)")
+	once         = flag.Bool("once", false, "leader: publish once after the first interval and exit (for scripting)")
+)
+
+func main() {
+	flag.Parse()
+	scheme, err := prio.ParseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peers []string
+	if *peersFlag != "" {
+		peers = strings.Split(*peersFlag, ",")
+	}
+	n := *servers
+	if n == 0 {
+		n = len(peers)
+	}
+	if n == 0 {
+		log.Fatal("prio-server: set -servers or -peers")
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: n, Mode: mode, Seal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := prio.NewServer(pro, *index)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *index != 0 {
+		ln, err := prio.ListenAndServe(*listen, srv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("server %d (%s, %s) listening on %s", *index, scheme.Name(), mode, ln.Addr())
+		select {} // serve until killed
+	}
+
+	// Leader path: wrap the protocol handler so MsgSubmit enqueues client
+	// submissions, then connect to the peer servers.
+	if len(peers) != n {
+		log.Fatalf("prio-server: leader needs -peers with %d entries", n)
+	}
+	ld := &leaderLoop{scheme: scheme}
+	base := srv.Handler()
+	ln, err := transport.Listen(*listen, nil, func(msgType byte, payload []byte) ([]byte, error) {
+		if msgType != core.MsgSubmit {
+			return base(msgType, payload)
+		}
+		sub, err := core.UnmarshalSubmission(payload)
+		if err != nil {
+			return nil, err
+		}
+		if ready := ld.enqueue(sub, *batch); ready {
+			go ld.flush()
+		}
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	time.Sleep(500 * time.Millisecond) // let peers come up
+	leader, err := prio.ConnectLeader(srv, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld.setLeader(leader)
+	log.Printf("leader (%s, %s) listening on %s, %d servers", scheme.Name(), mode, ln.Addr(), n)
+
+	ticker := time.NewTicker(*publishEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		ld.flush()
+		ld.publish()
+		if *once {
+			return
+		}
+	}
+}
+
+func parseMode(s string) (prio.Mode, error) {
+	switch s {
+	case "prio":
+		return prio.ModePrio, nil
+	case "prio-mpc":
+		return prio.ModePrioMPC, nil
+	case "no-robust":
+		return prio.ModeNoRobustness, nil
+	default:
+		return 0, fmt.Errorf("prio-server: unknown mode %q", s)
+	}
+}
+
+// leaderLoop buffers client submissions and verifies them in batches.
+type leaderLoop struct {
+	scheme prio.Scheme
+
+	mu      sync.Mutex
+	leader  *prio.Leader
+	pending []*prio.Submission
+}
+
+func (ld *leaderLoop) setLeader(l *prio.Leader) {
+	ld.mu.Lock()
+	ld.leader = l
+	ld.mu.Unlock()
+}
+
+// enqueue buffers one submission and reports whether a batch is ready.
+func (ld *leaderLoop) enqueue(sub *prio.Submission, batch int) bool {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	ld.pending = append(ld.pending, sub)
+	return len(ld.pending) >= batch && ld.leader != nil
+}
+
+// flush verifies all buffered submissions.
+func (ld *leaderLoop) flush() {
+	ld.mu.Lock()
+	subs := ld.pending
+	ld.pending = nil
+	leader := ld.leader
+	ld.mu.Unlock()
+	if len(subs) == 0 || leader == nil {
+		return
+	}
+	accepts, err := leader.ProcessBatch(subs)
+	if err != nil {
+		log.Printf("batch error: %v", err)
+		return
+	}
+	ok := 0
+	for _, a := range accepts {
+		if a {
+			ok++
+		}
+	}
+	log.Printf("batch: %d accepted, %d rejected", ok, len(subs)-ok)
+}
+
+// publish prints the decoded aggregate.
+func (ld *leaderLoop) publish() {
+	ld.mu.Lock()
+	leader := ld.leader
+	ld.mu.Unlock()
+	if leader == nil {
+		return
+	}
+	agg, n, err := leader.Aggregate()
+	if err != nil {
+		log.Printf("aggregate error: %v", err)
+		return
+	}
+	fmt.Printf("aggregate over %d clients: %s\n", n, describeAggregate(ld.scheme, agg, int(n)))
+}
+
+// describeAggregate renders the aggregate with the scheme's own decoder
+// where the type is known, falling back to the raw vector.
+func describeAggregate(scheme prio.Scheme, agg []uint64, n int) string {
+	switch s := scheme.(type) {
+	case *prio.Sum:
+		if v, err := s.Decode(agg, n); err == nil {
+			return "sum=" + v.String()
+		}
+	case *prio.Variance:
+		if mean, v, err := s.Decode(agg, n); err == nil {
+			return fmt.Sprintf("mean=%.3f variance=%.3f", mean, v)
+		}
+	case *prio.FreqCount:
+		if h, err := s.Decode(agg, n); err == nil {
+			return fmt.Sprintf("histogram=%v", h)
+		}
+	case *prio.BitVector:
+		if c, err := s.Decode(agg, n); err == nil {
+			return fmt.Sprintf("counts=%v", c)
+		}
+	case *prio.IntVector:
+		if c, err := s.Decode(agg, n); err == nil {
+			return fmt.Sprintf("sums=%v", bigs(c))
+		}
+	case *prio.LinReg:
+		if coef, err := s.Decode(agg, n); err == nil {
+			return fmt.Sprintf("coefficients=%v", coef)
+		}
+	}
+	return fmt.Sprintf("raw=%v", agg)
+}
+
+func bigs(v []*big.Int) []string {
+	out := make([]string, len(v))
+	for i, b := range v {
+		out[i] = b.String()
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Command browserstats reproduces the paper's browser-telemetry application
+// (Section 6.2): the RAPPOR-style Chromium statistics recast as a single
+// Prio submission — average CPU and memory usage plus frequency counts of
+// popular URL roots via a count-min sketch (Appendix G).
+//
+// One composed submission carries all three statistics under one merged
+// validity proof, so a malicious browser can shift each count by at most one
+// and each average by at most one reading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prio"
+)
+
+const (
+	cpuBits = 7 // percentage 0..100
+	memBits = 7
+	clients = 150
+)
+
+var urlRoots = []string{
+	"google.com", "youtube.com", "facebook.com", "wikipedia.org",
+	"reddit.com", "amazon.com", "twitter.com", "instagram.com",
+	"linkedin.com", "netflix.com", "bing.com", "office.com",
+	"github.com", "stackoverflow.com", "nytimes.com", "weather.com",
+}
+
+func main() {
+	cpu := prio.NewSum(cpuBits)
+	mem := prio.NewSum(memBits)
+	// The paper's low-resolution sketch point: δ=2⁻¹⁰, ε=1/10.
+	urls := prio.NewCountMin(0.1, 1.0/1024)
+	scheme := prio.NewConcat("browser", cpu, mem, urls)
+	fmt.Printf("composed submission: %d field elements, %d multiplication gates\n",
+		scheme.K(), scheme.Circuit().M())
+
+	pro, err := prio.NewProtocol(prio.Config{
+		Scheme:  scheme,
+		Servers: 2,
+		Mode:    prio.ModePrio,
+		Seal:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := prio.NewLocalCluster(pro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := prio.NewClient(pro, cluster.PublicKeys(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	var cpuTotal, memTotal uint64
+	visits := map[string]uint64{}
+	var subs []*prio.Submission
+	for cIdx := 0; cIdx < clients; cIdx++ {
+		cpuVal := uint64(10 + rng.Intn(60))
+		memVal := uint64(20 + rng.Intn(70))
+		// Zipf-ish homepage popularity.
+		root := urlRoots[int(rng.ExpFloat64()*3)%len(urlRoots)]
+		cpuTotal += cpuVal
+		memTotal += memVal
+		visits[root]++
+
+		ce, err := cpu.Encode(cpuVal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		me, err := mem.Encode(memVal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ue, err := urls.Encode([]byte(root))
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc, err := scheme.Pack(ce, me, ue)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	for start := 0; start < len(subs); start += 25 {
+		end := min(start+25, len(subs))
+		if _, err := cluster.Leader.ProcessBatch(subs[start:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	agg, n, err := cluster.Leader.Aggregate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	offs := scheme.Offsets()
+	cpuAvg, err := cpu.DecodeMean(agg[offs[0][0]:offs[0][1]], int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	memAvg, err := mem.DecodeMean(agg[offs[1][0]:offs[1][1]], int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk, err := urls.Decode(agg[offs[2][0]:offs[2][1]], int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("avg CPU: %.2f%% (truth %.2f%%)\n", cpuAvg, float64(cpuTotal)/clients)
+	fmt.Printf("avg mem: %.2f%% (truth %.2f%%)\n", memAvg, float64(memTotal)/clients)
+	fmt.Printf("%-20s %-10s %-10s\n", "url root", "estimate", "truth")
+	for _, root := range urlRoots[:8] {
+		est := sk.Estimate([]byte(root))
+		fmt.Printf("%-20s %-10d %-10d\n", root, est, visits[root])
+		if est < visits[root] {
+			log.Fatal("count-min underestimated (impossible)")
+		}
+	}
+	fmt.Printf("aggregated %d browsers; sketch estimates within ε·n of truth\n", n)
+}

@@ -1,0 +1,164 @@
+// Command regression privately trains a least-squares model on synthetic
+// health data, reproducing the Section 5.3 scenario: predicting a vital sign
+// from daily activity without any server seeing a single patient's record.
+//
+// The synthetic cohort mimics the paper's breast-cancer configuration shape
+// (continuous 14-bit fixed-point features); the decoded model is compared
+// against the model fit directly on the raw data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"prio"
+)
+
+const (
+	d        = 3  // features: daily steps, age, resting heart rate
+	bits     = 14 // fixed-point width, as in the paper's datasets
+	patients = 200
+)
+
+func main() {
+	scheme := prio.NewLinRegUniform(d, bits)
+	pro, err := prio.NewProtocol(prio.Config{
+		Scheme:  scheme,
+		Servers: 2,
+		Mode:    prio.ModePrio,
+		Seal:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := prio.NewLocalCluster(pro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := prio.NewClient(pro, cluster.PublicKeys(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground-truth model: y = 40 + 2·x1 + 1·x2 + 3·x3 + noise.
+	coef := []float64{40, 2, 1, 3}
+	rng := rand.New(rand.NewSource(7))
+	var subs []*prio.Submission
+	var rawX [][]uint64
+	var rawY []uint64
+	for p := 0; p < patients; p++ {
+		x := []uint64{
+			uint64(rng.Intn(2000)), // steps (scaled)
+			uint64(18 + rng.Intn(70)),
+			uint64(50 + rng.Intn(60)),
+		}
+		y := coef[0] + coef[1]*float64(x[0]) + coef[2]*float64(x[1]) + coef[3]*float64(x[2]) +
+			rng.NormFloat64()*25
+		if y < 0 {
+			y = 0
+		}
+		yi := uint64(math.Round(y))
+		if yi >= 1<<bits {
+			yi = 1<<bits - 1
+		}
+		rawX = append(rawX, x)
+		rawY = append(rawY, yi)
+
+		enc, err := scheme.Encode(x, yi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	for start := 0; start < len(subs); start += 50 {
+		end := min(start+50, len(subs))
+		if _, err := cluster.Leader.ProcessBatch(subs[start:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	agg, n, err := cluster.Leader.Aggregate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	private, err := scheme.Decode(agg, int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := scheme.DecodeR2(agg, int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fit the same model on the raw data for comparison (what a
+	// privacy-invasive aggregator would compute).
+	direct := directFit(rawX, rawY)
+
+	fmt.Printf("%-12s %12s %12s\n", "coefficient", "private", "direct")
+	labels := []string{"intercept", "steps", "age", "restHR"}
+	for i := range private {
+		fmt.Printf("%-12s %12.4f %12.4f\n", labels[i], private[i], direct[i])
+		if math.Abs(private[i]-direct[i]) > 1e-6 {
+			log.Fatal("private fit differs from direct fit")
+		}
+	}
+	fmt.Printf("model R² on cohort: %.4f\n", r2)
+	fmt.Println("the private fit is bit-exact: Prio aggregates the same moments a direct fit uses")
+}
+
+// directFit solves the normal equations on the raw data.
+func directFit(xs [][]uint64, ys []uint64) []float64 {
+	n := len(xs)
+	a := make([][]float64, d+1)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	rhs := make([]float64, d+1)
+	for p := 0; p < n; p++ {
+		row := make([]float64, d+1)
+		row[0] = 1
+		for j := 0; j < d; j++ {
+			row[j+1] = float64(xs[p][j])
+		}
+		for i := 0; i <= d; i++ {
+			for j := 0; j <= d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			rhs[i] += row[i] * float64(ys[p])
+		}
+	}
+	// Gaussian elimination.
+	for col := 0; col <= d; col++ {
+		piv := col
+		for r := col + 1; r <= d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		for r := col + 1; r <= d; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	out := make([]float64, d+1)
+	for r := d; r >= 0; r-- {
+		v := rhs[r]
+		for c := r + 1; c <= d; c++ {
+			v -= a[r][c] * out[c]
+		}
+		out[r] = v / a[r][r]
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package afe implements the affine-aggregatable encodings of Section 5:
+// the data-encoding layer that turns "private sum of vectors" (Section 3)
+// plus "validated submissions" (Section 4) into a library of useful
+// aggregate statistics.
+//
+// An AFE is a triple (Encode, Valid, Decode): clients encode their private
+// value as a vector in F^k, servers verify the Valid circuit with a SNIP and
+// sum the first k' components, and anyone can decode the sum of encodings
+// into the aggregate f(x_1, …, x_n).
+//
+// The field-based schemes in this package implement the Scheme interface
+// consumed by the aggregation pipeline; each also exposes typed Encode and
+// Decode methods of its own, because inputs and aggregates differ per
+// statistic. The boolean OR/AND family (Section 5.2) aggregates by XOR over
+// F_2^λ instead and lives in bool.go with a parallel XorScheme interface.
+package afe
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// Scheme is the field-agnostic view of an AFE that the aggregation pipeline
+// needs: the encoding arity, the aggregated prefix, and the validation
+// circuit. Concrete types add typed Encode/Decode methods.
+type Scheme[E any] interface {
+	// Name identifies the scheme, e.g. "sum8".
+	Name() string
+	// K is the encoding length: Encode produces vectors in F^K.
+	K() int
+	// KPrime is the number of leading components the servers aggregate
+	// (Trunc_k' in the paper); KPrime ≤ K.
+	KPrime() int
+	// Circuit returns the Valid predicate as an arithmetic circuit over K
+	// inputs whose assertion wires must all be zero.
+	Circuit() *circuit.Circuit[E]
+}
+
+// Errors shared by the encoders.
+var (
+	ErrRange  = errors.New("afe: input out of range")
+	ErrDecode = errors.New("afe: malformed aggregate")
+)
+
+// bitsOf decomposes v into its w least-significant bits as field elements.
+func bitsOf[Fd field.Field[E], E any](f Fd, v uint64, w int) []E {
+	out := make([]E, w)
+	for i := 0; i < w; i++ {
+		out[i] = f.FromUint64((v >> uint(i)) & 1)
+	}
+	return out
+}
+
+// toCount converts an aggregated field element that represents a
+// non-negative integer count back to a big.Int, failing if it cannot fit the
+// stated bound. bound <= 0 skips the check.
+func toCount[Fd field.Field[E], E any](f Fd, e E, bound *big.Int) (*big.Int, error) {
+	v := f.ToBig(e)
+	if bound != nil && bound.Sign() > 0 && v.Cmp(bound) > 0 {
+		return nil, fmt.Errorf("%w: component %v exceeds bound %v", ErrDecode, v, bound)
+	}
+	return v, nil
+}
+
+// Concat composes several field AFEs into one: encodings are concatenated,
+// validation circuits are merged, and the aggregated prefixes are
+// re-packed so that each part's first KPrime components are aggregated.
+//
+// Because Trunc takes a prefix, Concat reorders each part's encoding so that
+// the aggregated components of all parts come first (parts' prefixes in
+// order), followed by all validation-only tails. Decode callers split the
+// aggregate with Offsets.
+//
+// Concat is how the browser-statistics application of Section 6.2 is built:
+// two mean encodings plus sixteen frequency counts in a single submission.
+type Concat[Fd field.Field[E], E any] struct {
+	f     Fd
+	name  string
+	parts []Scheme[E]
+	k     int
+	kp    int
+	c     *circuit.Circuit[E]
+}
+
+// NewConcat builds the composition of the given schemes.
+func NewConcat[Fd field.Field[E], E any](f Fd, name string, parts ...Scheme[E]) *Concat[Fd, E] {
+	cc := &Concat[Fd, E]{f: f, name: name, parts: parts}
+	for _, p := range parts {
+		cc.k += p.K()
+		cc.kp += p.KPrime()
+	}
+	// Merged circuit over the re-packed layout: aggregated prefixes first,
+	// then tails. Rebuild each part's circuit with remapped input indices.
+	b := circuit.NewBuilder(f, cc.k)
+	prefixOff := 0
+	tailOff := cc.kp
+	for _, p := range parts {
+		pc := p.Circuit()
+		wireMap := make([]circuit.Wire, len(pc.Gates))
+		for gi, g := range pc.Gates {
+			switch g.Op {
+			case circuit.OpInput:
+				if g.A < p.KPrime() {
+					wireMap[gi] = b.Input(prefixOff + g.A)
+				} else {
+					wireMap[gi] = b.Input(tailOff + g.A - p.KPrime())
+				}
+			case circuit.OpConst:
+				wireMap[gi] = b.Const(g.K)
+			case circuit.OpAdd:
+				wireMap[gi] = b.Add(wireMap[g.A], wireMap[g.B])
+			case circuit.OpSub:
+				wireMap[gi] = b.Sub(wireMap[g.A], wireMap[g.B])
+			case circuit.OpMul:
+				wireMap[gi] = b.Mul(wireMap[g.A], wireMap[g.B])
+			case circuit.OpMulConst:
+				wireMap[gi] = b.MulConst(wireMap[g.A], g.K)
+			}
+		}
+		for _, a := range pc.Asserts {
+			b.AssertZero(wireMap[a])
+		}
+		prefixOff += p.KPrime()
+		tailOff += p.K() - p.KPrime()
+	}
+	cc.c = b.Build()
+	return cc
+}
+
+// Name implements Scheme.
+func (cc *Concat[Fd, E]) Name() string { return cc.name }
+
+// K implements Scheme.
+func (cc *Concat[Fd, E]) K() int { return cc.k }
+
+// KPrime implements Scheme.
+func (cc *Concat[Fd, E]) KPrime() int { return cc.kp }
+
+// Circuit implements Scheme.
+func (cc *Concat[Fd, E]) Circuit() *circuit.Circuit[E] { return cc.c }
+
+// Pack re-packs the given per-part encodings (each of length parts[i].K())
+// into the combined layout.
+func (cc *Concat[Fd, E]) Pack(encodings ...[]E) ([]E, error) {
+	if len(encodings) != len(cc.parts) {
+		return nil, fmt.Errorf("%w: got %d encodings for %d parts", ErrRange, len(encodings), len(cc.parts))
+	}
+	out := make([]E, 0, cc.k)
+	for i, enc := range encodings {
+		if len(enc) != cc.parts[i].K() {
+			return nil, fmt.Errorf("%w: part %d encoding has length %d, want %d", ErrRange, i, len(enc), cc.parts[i].K())
+		}
+		out = append(out, enc[:cc.parts[i].KPrime()]...)
+	}
+	for i, enc := range encodings {
+		out = append(out, enc[cc.parts[i].KPrime():]...)
+	}
+	return out, nil
+}
+
+// Offsets returns, for each part, the [start, end) range of its aggregated
+// components within the combined aggregate vector.
+func (cc *Concat[Fd, E]) Offsets() [][2]int {
+	out := make([][2]int, len(cc.parts))
+	off := 0
+	for i, p := range cc.parts {
+		out[i] = [2]int{off, off + p.KPrime()}
+		off += p.KPrime()
+	}
+	return out
+}
+
+// Part returns the i-th composed scheme.
+func (cc *Concat[Fd, E]) Part(i int) Scheme[E] { return cc.parts[i] }

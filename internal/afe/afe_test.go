@@ -1,0 +1,661 @@
+package afe
+
+import (
+	"crypto/rand"
+	"math"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// aggregate sums the truncated encodings of all clients — the job the
+// servers do — and returns the aggregate prefix.
+func aggregate[Fd field.Field[E], E any](f Fd, s Scheme[E], encs [][]E) []E {
+	acc := make([]E, s.KPrime())
+	for i := range acc {
+		acc[i] = f.Zero()
+	}
+	for _, e := range encs {
+		field.AddVec(f, acc, e[:s.KPrime()])
+	}
+	return acc
+}
+
+func TestSumRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	s := NewSum(f, 8)
+	if s.K() != 9 || s.KPrime() != 1 || s.Circuit().M() != 8 {
+		t.Fatalf("sum dims: K=%d K'=%d M=%d", s.K(), s.KPrime(), s.Circuit().M())
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	var encs [][]uint64
+	want := uint64(0)
+	for i := 0; i < 100; i++ {
+		v := uint64(rng.Intn(256))
+		want += v
+		enc, err := s.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatalf("honest encoding of %d fails Valid", v)
+		}
+		encs = append(encs, enc)
+	}
+	got, err := s.Decode(aggregate(f, s, encs), len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != want {
+		t.Errorf("sum = %v, want %d", got, want)
+	}
+	mean, err := s.DecodeMean(aggregate(f, s, encs), len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-float64(want)/100) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestSumRejectsOutOfRange(t *testing.T) {
+	f := field.NewF64()
+	s := NewSum(f, 4)
+	if _, err := s.Encode(16); err == nil {
+		t.Error("Encode accepted 16 for 4-bit sum")
+	}
+	// A forged encoding claiming value 16 must fail Valid.
+	forged := []uint64{16, 0, 0, 0, 0}
+	if circuit.Validate(f, s.Circuit(), forged) {
+		t.Error("Valid accepted out-of-range forgery")
+	}
+	// The large-integer attack of Section 1.
+	huge := []uint64{field.ModulusF64 - 1, 1, 1, 1, 1}
+	if circuit.Validate(f, s.Circuit(), huge) {
+		t.Error("Valid accepted huge-value forgery")
+	}
+}
+
+func TestSumMaxClients(t *testing.T) {
+	f := field.NewF64()
+	s := NewSum(f, 8)
+	mc := s.MaxClients()
+	if mc.Sign() <= 0 {
+		t.Fatal("MaxClients not positive")
+	}
+	// (2^8-1) * MaxClients must stay below p.
+	prod := new(big.Int).Mul(mc, big.NewInt(255))
+	if prod.Cmp(f.Modulus()) >= 0 {
+		t.Error("MaxClients overflows the field")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	f := field.NewF64()
+	g := NewGeoMean(f, 24, 10)
+	vals := []float64{2, 8, 4}
+	var encs [][]uint64
+	for _, v := range vals {
+		enc, err := g.EncodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, g.Circuit(), enc) {
+			t.Fatal("geomean encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	gm, err := g.DecodeGeoMean(aggregate[field.F64, uint64](f, g, encs), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gm-4) > 0.02 { // (2·8·4)^(1/3) = 4
+		t.Errorf("geometric mean = %v, want 4", gm)
+	}
+	prod, err := g.DecodeProduct(aggregate[field.F64, uint64](f, g, encs), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prod-64) > 1 {
+		t.Errorf("product = %v, want 64", prod)
+	}
+	if _, err := g.EncodeValue(0); err == nil {
+		t.Error("EncodeValue accepted zero")
+	}
+	if _, err := g.EncodeValue(0.25); err == nil {
+		t.Error("EncodeValue accepted value below fixed-point range")
+	}
+}
+
+func TestVarianceRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	s := NewVariance(f, 8)
+	if s.Circuit().M() != 9 {
+		t.Fatalf("variance circuit M = %d, want 9", s.Circuit().M())
+	}
+	vals := []uint64{10, 20, 30, 40, 50}
+	var encs [][]uint64
+	for _, v := range vals {
+		enc, err := s.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatal("variance encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	mean, variance, err := s.Decode(aggregate(f, s, encs), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 30 {
+		t.Errorf("mean = %v, want 30", mean)
+	}
+	if variance != 200 {
+		t.Errorf("variance = %v, want 200", variance)
+	}
+	_, sd, err := s.DecodeStddev(aggregate(f, s, encs), len(vals))
+	if err != nil || math.Abs(sd-math.Sqrt(200)) > 1e-9 {
+		t.Errorf("stddev = %v err=%v", sd, err)
+	}
+}
+
+func TestVarianceRejectsForgedSquare(t *testing.T) {
+	f := field.NewF64()
+	s := NewVariance(f, 8)
+	enc, err := s.Encode(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[1] = f.Add(enc[1], 1) // x² now inconsistent
+	if circuit.Validate(f, s.Circuit(), enc) {
+		t.Error("Valid accepted inconsistent square")
+	}
+}
+
+func TestFreqCountRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	s := NewFreqCount(f, 5)
+	values := []int{0, 3, 3, 2, 4, 3, 0}
+	var encs [][]uint64
+	for _, v := range values {
+		enc, err := s.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatal("one-hot encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	hist, err := s.Decode(aggregate(f, s, encs), len(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{2, 0, 1, 3, 1}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, hist[i], want[i])
+		}
+	}
+	if b, c := Mode(hist); b != 3 || c != 3 {
+		t.Errorf("mode = (%d,%d), want (3,3)", b, c)
+	}
+	if q := Quantile(hist, 0.5); q != 3 {
+		t.Errorf("median bucket = %d, want 3", q)
+	}
+	if q := Quantile(hist, 1.0); q != 4 {
+		t.Errorf("max bucket = %d, want 4", q)
+	}
+}
+
+func TestFreqCountRejections(t *testing.T) {
+	f := field.NewF64()
+	s := NewFreqCount(f, 4)
+	if _, err := s.Encode(4); err == nil {
+		t.Error("Encode accepted out-of-range bucket")
+	}
+	if _, err := s.Encode(-1); err == nil {
+		t.Error("Encode accepted negative bucket")
+	}
+	for _, bad := range [][]uint64{
+		{0, 0, 0, 0},
+		{1, 1, 0, 0},
+		{0, 2, field.ModulusF64 - 1, 0},
+	} {
+		if circuit.Validate(f, s.Circuit(), bad) {
+			t.Errorf("Valid accepted %v", bad)
+		}
+	}
+	// Histogram not matching n must fail decode.
+	enc, _ := s.Encode(1)
+	if _, err := s.Decode(enc, 2); err == nil {
+		t.Error("Decode accepted histogram with wrong total")
+	}
+}
+
+func TestLinRegRecoversPlantedModel(t *testing.T) {
+	f := field.NewF128() // moments overflow F64 comfortably? keep them safe
+	const d = 3
+	l := NewLinRegUniform(f, d, 10)
+	// Check the paper's gate-count formula: (d+1)b + d(d+1)/2 + d + 1.
+	wantM := (d+1)*10 + d*(d+1)/2 + d + 1
+	if l.Circuit().M() != wantM {
+		t.Fatalf("linreg M = %d, want %d", l.Circuit().M(), wantM)
+	}
+	// y = 7 + 2x1 + 0x2 + 5x3 exactly (integer data, exact fit).
+	rng := mrand.New(mrand.NewSource(7))
+	var encs [][]field.U128
+	n := 60
+	for i := 0; i < n; i++ {
+		x := []uint64{uint64(rng.Intn(50)), uint64(rng.Intn(50)), uint64(rng.Intn(50))}
+		y := 7 + 2*x[0] + 5*x[2]
+		enc, err := l.Encode(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, l.Circuit(), enc) {
+			t.Fatal("linreg encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	agg := aggregate[field.F128, field.U128](f, l, encs)
+	coeffs, err := l.Decode(agg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 2, 0, 5}
+	for i := range want {
+		if math.Abs(coeffs[i]-want[i]) > 1e-6 {
+			t.Errorf("c%d = %v, want %v", i, coeffs[i], want[i])
+		}
+	}
+	r2, err := l.DecodeR2(agg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1 for an exact fit", r2)
+	}
+}
+
+func TestLinRegMixedWidthsAndRejections(t *testing.T) {
+	f := field.NewF128()
+	l := NewLinReg(f, []int{1, 8}, 8) // one boolean feature, one byte feature
+	if _, err := l.Encode([]uint64{2, 10}, 5); err == nil {
+		t.Error("Encode accepted 2 for a 1-bit feature")
+	}
+	if _, err := l.Encode([]uint64{1, 256}, 5); err == nil {
+		t.Error("Encode accepted 256 for an 8-bit feature")
+	}
+	if _, err := l.Encode([]uint64{1, 10}, 256); err == nil {
+		t.Error("Encode accepted 256 for an 8-bit label")
+	}
+	if _, err := l.Encode([]uint64{1}, 3); err == nil {
+		t.Error("Encode accepted wrong feature count")
+	}
+	enc, err := l.Encode([]uint64{1, 17}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circuit.Validate(f, l.Circuit(), enc) {
+		t.Error("honest mixed-width encoding fails Valid")
+	}
+	// Tamper with a cross term.
+	enc[3] = f.Add(enc[3], f.One())
+	if circuit.Validate(f, l.Circuit(), enc) {
+		t.Error("Valid accepted forged cross term")
+	}
+}
+
+func TestMostPopular(t *testing.T) {
+	f := field.NewF64()
+	s := NewMostPopular(f, 16)
+	popular := uint64(0xBEEF)
+	var encs [][]uint64
+	for i := 0; i < 10; i++ {
+		v := popular
+		if i >= 7 { // 3 dissenters
+			v = uint64(i * 977)
+		}
+		enc, err := s.Encode(v & 0xFFFF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatal("mostpop encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	got, counts, err := s.Decode(aggregate(f, s, encs), len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != popular {
+		t.Errorf("majority string = %#x, want %#x (counts %v)", got, popular, counts)
+	}
+}
+
+func TestR2AFE(t *testing.T) {
+	f := field.NewF128()
+	model := []int64{3, 2} // ŷ = 3 + 2x
+	s := NewR2(f, model, []int{8}, 10)
+	if s.Circuit().M() != 8+10+2 {
+		t.Fatalf("R² circuit M = %d, want %d", s.Circuit().M(), 20)
+	}
+	// Perfect fit: y = 3 + 2x.
+	var encs [][]field.U128
+	for _, x := range []uint64{1, 5, 9, 33, 60} {
+		enc, err := s.Encode([]uint64{x}, 3+2*x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatal("R² encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	r2, err := s.Decode(aggregate[field.F128, field.U128](f, s, encs), len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+	// Noisy fit must be below 1.
+	encs = nil
+	rng := mrand.New(mrand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		x := uint64(rng.Intn(200))
+		y := uint64(rng.Intn(1000))
+		enc, err := s.Encode([]uint64{x}, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	r2n, err := s.Decode(aggregate[field.F128, field.U128](f, s, encs), len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2n >= 0.9 {
+		t.Errorf("random data R² = %v, expected poor fit", r2n)
+	}
+	// Forged residual must fail Valid.
+	enc, _ := s.Encode([]uint64{4}, 11)
+	enc[2] = f.Add(enc[2], f.One())
+	if circuit.Validate(f, s.Circuit(), enc) {
+		t.Error("Valid accepted forged residual square")
+	}
+}
+
+func TestConcatScheme(t *testing.T) {
+	f := field.NewF64()
+	sum := NewSum(f, 4)
+	freq := NewFreqCount(f, 3)
+	cc := NewConcat[field.F64, uint64](f, "browser", sum, freq)
+	if cc.K() != sum.K()+freq.K() || cc.KPrime() != sum.KPrime()+freq.KPrime() {
+		t.Fatalf("concat dims wrong: K=%d K'=%d", cc.K(), cc.KPrime())
+	}
+	if cc.Circuit().M() != sum.Circuit().M()+freq.Circuit().M() {
+		t.Fatalf("concat M = %d", cc.Circuit().M())
+	}
+
+	var encs [][]uint64
+	wantSum := uint64(0)
+	wantHist := []uint64{0, 0, 0}
+	for i := 0; i < 20; i++ {
+		v := uint64(i % 16)
+		bucket := i % 3
+		wantSum += v
+		wantHist[bucket]++
+		se, err := sum.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, err := freq.Encode(bucket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := cc.Pack(se, fe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, cc.Circuit(), enc) {
+			t.Fatal("packed encoding fails combined Valid")
+		}
+		encs = append(encs, enc)
+	}
+	agg := aggregate[field.F64, uint64](f, cc, encs)
+	offs := cc.Offsets()
+	gotSum, err := sum.Decode(agg[offs[0][0]:offs[0][1]], len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum.Uint64() != wantSum {
+		t.Errorf("concat sum = %v, want %d", gotSum, wantSum)
+	}
+	gotHist, err := freq.Decode(agg[offs[1][0]:offs[1][1]], len(encs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantHist {
+		if gotHist[i] != wantHist[i] {
+			t.Errorf("concat hist[%d] = %d, want %d", i, gotHist[i], wantHist[i])
+		}
+	}
+
+	// Cross-part forgery: valid parts, but swap aggregated components.
+	se, _ := sum.Encode(3)
+	fe, _ := freq.Encode(1)
+	enc, _ := cc.Pack(se, fe)
+	enc[0], enc[1] = enc[1], enc[0]
+	if circuit.Validate(f, cc.Circuit(), enc) {
+		t.Error("combined Valid accepted swapped components")
+	}
+
+	if _, err := cc.Pack(se); err == nil {
+		t.Error("Pack accepted wrong part count")
+	}
+	if _, err := cc.Pack(se, se); err == nil {
+		t.Error("Pack accepted wrong part length")
+	}
+	if cc.Part(0) != Scheme[uint64](sum) {
+		t.Error("Part(0) mismatch")
+	}
+}
+
+func TestBoolOrAnd(t *testing.T) {
+	or := NewBoolOr(80)
+	and := NewBoolAnd(80)
+	if or.Words() != 2 || or.Blocks() != 1 || or.Lambda() != 80 {
+		t.Fatalf("or dims: words=%d", or.Words())
+	}
+	cases := []struct {
+		bits    []bool
+		wantOr  bool
+		wantAnd bool
+	}{
+		{[]bool{false, false, false}, false, false},
+		{[]bool{false, true, false}, true, false},
+		{[]bool{true, true, true}, true, true},
+	}
+	for ci, c := range cases {
+		orAgg := make([]uint64, or.Words())
+		andAgg := make([]uint64, and.Words())
+		for _, b := range c.bits {
+			oe, err := or.Encode(b, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			XorAggregate(orAgg, oe)
+			ae, err := and.Encode(b, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			XorAggregate(andAgg, ae)
+		}
+		gotOr, err := or.Decode(orAgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAnd, err := and.Decode(andAgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOr != c.wantOr || gotAnd != c.wantAnd {
+			t.Errorf("case %d: or=%v and=%v, want %v/%v", ci, gotOr, gotAnd, c.wantOr, c.wantAnd)
+		}
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	const B = 16
+	max := NewMax(B, 80)
+	min := NewMin(B, 80)
+	values := []int{7, 3, 11, 3, 9}
+	maxAgg := make([]uint64, max.Words())
+	minAgg := make([]uint64, min.Words())
+	for _, v := range values {
+		me, err := max.Encode(v, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		XorAggregate(maxAgg, me)
+		ne, err := min.Encode(v, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		XorAggregate(minAgg, ne)
+	}
+	gm, ok, err := max.Decode(maxAgg)
+	if err != nil || !ok || gm != 11 {
+		t.Errorf("max = %d ok=%v err=%v, want 11", gm, ok, err)
+	}
+	gn, ok, err := min.Decode(minAgg)
+	if err != nil || !ok || gn != 3 {
+		t.Errorf("min = %d ok=%v err=%v, want 3", gn, ok, err)
+	}
+	if _, err := max.Encode(B, rand.Reader); err == nil {
+		t.Error("Encode accepted out-of-range value")
+	}
+	// Degenerate empty aggregate.
+	if _, ok, _ := max.Decode(make([]uint64, max.Words())); ok {
+		t.Error("empty max aggregate decoded as present")
+	}
+}
+
+func TestApproxMax(t *testing.T) {
+	const B = uint64(1) << 40
+	c := 2.0
+	am := NewApproxMax(B, c, 80)
+	agg := make([]uint64, am.Words())
+	values := []uint64{100, 5000, 1 << 30, 12345}
+	for _, v := range values {
+		e, err := am.Encode(v, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		XorAggregate(agg, e)
+	}
+	got, ok, err := am.Decode(agg)
+	if err != nil || !ok {
+		t.Fatalf("decode: ok=%v err=%v", ok, err)
+	}
+	trueMax := uint64(1 << 30)
+	if got > trueMax*2 || got < trueMax/2 {
+		t.Errorf("approx max = %d, want within 2x of %d", got, trueMax)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	const B = 10
+	u := NewSetUnion(B, 80)
+	in := NewSetIntersection(B, 80)
+	sets := [][]int{{1, 2, 3}, {2, 3, 4}, {0, 2, 3, 9}}
+	uAgg := make([]uint64, u.Words())
+	iAgg := make([]uint64, in.Words())
+	for _, s := range sets {
+		ue, err := u.Encode(s, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		XorAggregate(uAgg, ue)
+		ie, err := in.Encode(s, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		XorAggregate(iAgg, ie)
+	}
+	union, err := u.Decode(uAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := in.Decode(iAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnion := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 9: true}
+	wantInter := map[int]bool{2: true, 3: true}
+	for i := 0; i < B; i++ {
+		if union[i] != wantUnion[i] {
+			t.Errorf("union[%d] = %v", i, union[i])
+		}
+		if inter[i] != wantInter[i] {
+			t.Errorf("intersection[%d] = %v", i, inter[i])
+		}
+	}
+	if _, err := u.Encode([]int{B}, rand.Reader); err == nil {
+		t.Error("Encode accepted out-of-universe element")
+	}
+}
+
+func TestCountMinAFE(t *testing.T) {
+	f := field.NewF64()
+	s := NewCountMin(f, 0.1, 1.0/1024) // the paper's low-res point
+	p := s.Params()
+	if p.Rows < 5 || p.Cols < 20 {
+		t.Fatalf("suspicious params %+v", p)
+	}
+	if s.Circuit().M() != p.Cells() {
+		t.Fatalf("countmin M = %d, want %d", s.Circuit().M(), p.Cells())
+	}
+	items := []string{"example.com", "example.com", "example.com", "other.net", "third.org"}
+	var encs [][]uint64
+	for _, it := range items {
+		enc, err := s.Encode([]byte(it))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.Validate(f, s.Circuit(), enc) {
+			t.Fatal("countmin encoding fails Valid")
+		}
+		encs = append(encs, enc)
+	}
+	sk, err := s.Decode(aggregate(f, s, encs), len(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate([]byte("example.com")); got < 3 {
+		t.Errorf("estimate for example.com = %d, want >= 3", got)
+	}
+	if got := sk.Estimate([]byte("absent.io")); got > 1 {
+		t.Errorf("estimate for absent item = %d, want <= 1 (n=5, eps=0.1)", got)
+	}
+	// Double-insertion forgery must fail Valid.
+	bad, _ := s.Encode([]byte("x"))
+	// find a zero cell in row 0 and set it too
+	for c := 0; c < p.Cols; c++ {
+		if bad[c] == 0 {
+			bad[c] = 1
+			break
+		}
+	}
+	if circuit.Validate(f, s.Circuit(), bad) {
+		t.Error("Valid accepted row with two ones")
+	}
+}

@@ -1,0 +1,80 @@
+package afe
+
+import (
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// BitVector is the workhorse of the paper's evaluation (Figures 4 and 5 and
+// the survey applications): each client submits a vector of L private 0/1
+// responses, the Valid circuit bit-checks every position (L multiplication
+// gates), and the aggregate is the per-position count — "the distribution of
+// responses to a survey with L true/false questions".
+type BitVector[Fd field.Field[E], E any] struct {
+	f Fd
+	l int
+	c *circuit.Circuit[E]
+}
+
+// NewBitVector constructs the L-position boolean survey AFE.
+func NewBitVector[Fd field.Field[E], E any](f Fd, l int) *BitVector[Fd, E] {
+	if l < 1 {
+		panic("afe: NewBitVector needs at least one position")
+	}
+	b := circuit.NewBuilder(f, l)
+	for i := 0; i < l; i++ {
+		b.AssertBit(b.Input(i))
+	}
+	return &BitVector[Fd, E]{f: f, l: l, c: b.Build()}
+}
+
+// Name implements Scheme.
+func (s *BitVector[Fd, E]) Name() string { return fmt.Sprintf("bits%d", s.l) }
+
+// Len returns L.
+func (s *BitVector[Fd, E]) Len() int { return s.l }
+
+// K implements Scheme.
+func (s *BitVector[Fd, E]) K() int { return s.l }
+
+// KPrime implements Scheme.
+func (s *BitVector[Fd, E]) KPrime() int { return s.l }
+
+// Circuit implements Scheme.
+func (s *BitVector[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode maps the response vector to field elements.
+func (s *BitVector[Fd, E]) Encode(bits []bool) ([]E, error) {
+	if len(bits) != s.l {
+		return nil, fmt.Errorf("%w: %d responses, want %d", ErrRange, len(bits), s.l)
+	}
+	out := make([]E, s.l)
+	for i, b := range bits {
+		if b {
+			out[i] = s.f.One()
+		} else {
+			out[i] = s.f.Zero()
+		}
+	}
+	return out, nil
+}
+
+// Decode returns the per-position counts.
+func (s *BitVector[Fd, E]) Decode(agg []E, n int) ([]uint64, error) {
+	if len(agg) != s.l {
+		return nil, ErrDecode
+	}
+	bound := big.NewInt(int64(n))
+	out := make([]uint64, s.l)
+	for i, e := range agg {
+		v, err := toCount(s.f, e, bound)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.Uint64()
+	}
+	return out, nil
+}

@@ -1,0 +1,378 @@
+package afe
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math"
+
+	"prio/internal/share"
+)
+
+// The boolean family of Section 5.2 aggregates in F_2^λ: encodings are
+// λ-bit blocks combined by XOR, so servers "sum" submissions by XOR-ing
+// packed bitsets and no validation circuit is needed (every bitstring is a
+// valid encoding — Valid always accepts). With security parameter λ, decode
+// errs with probability 2^-λ per logical bit.
+//
+// XorScheme is the pipeline-facing counterpart of Scheme for this family.
+type XorScheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// Blocks is the number of logical OR/AND bits.
+	Blocks() int
+	// Lambda is the per-bit security parameter.
+	Lambda() int
+	// Words is the packed encoding length in 64-bit words.
+	Words() int
+}
+
+// orVector is the shared mechanism: n logical bits, each expanded to a λ-bit
+// block that is uniformly random when the bit is 1 and zero when it is 0.
+// XOR-aggregating across clients computes bitwise OR (up to 2^-λ failures).
+type orVector struct {
+	blocks int
+	lambda int
+}
+
+func (o orVector) Words() int { return (o.blocks*o.lambda + 63) / 64 }
+
+// encodeBits expands logical bits into the packed block representation,
+// drawing randomness from rnd (crypto/rand if nil).
+func (o orVector) encodeBits(bits []bool, rnd io.Reader) ([]uint64, error) {
+	if len(bits) != o.blocks {
+		return nil, fmt.Errorf("%w: %d bits, want %d", ErrRange, len(bits), o.blocks)
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	words := make([]uint64, o.Words())
+	buf := make([]byte, (o.lambda+7)/8)
+	for i, b := range bits {
+		if !b {
+			continue
+		}
+		if _, err := io.ReadFull(rnd, buf); err != nil {
+			return nil, err
+		}
+		for j := 0; j < o.lambda; j++ {
+			if buf[j/8]&(1<<uint(j%8)) != 0 {
+				pos := i*o.lambda + j
+				words[pos/64] |= 1 << uint(pos%64)
+			}
+		}
+	}
+	return words, nil
+}
+
+// decodeBits recovers the logical OR bits: block nonzero ⇒ 1.
+func (o orVector) decodeBits(agg []uint64) ([]bool, error) {
+	if len(agg) != o.Words() {
+		return nil, ErrDecode
+	}
+	out := make([]bool, o.blocks)
+	for i := range out {
+		for j := 0; j < o.lambda; j++ {
+			pos := i*o.lambda + j
+			if agg[pos/64]&(1<<uint(pos%64)) != 0 {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// BoolOr computes the logical OR of one private bit per client.
+type BoolOr struct{ ov orVector }
+
+// NewBoolOr constructs the OR AFE with security parameter lambda (the paper
+// suggests λ = 80 or 128).
+func NewBoolOr(lambda int) *BoolOr {
+	return &BoolOr{ov: orVector{blocks: 1, lambda: lambda}}
+}
+
+// Name implements XorScheme.
+func (s *BoolOr) Name() string { return fmt.Sprintf("or%d", s.ov.lambda) }
+
+// Blocks implements XorScheme.
+func (s *BoolOr) Blocks() int { return 1 }
+
+// Lambda implements XorScheme.
+func (s *BoolOr) Lambda() int { return s.ov.lambda }
+
+// Words implements XorScheme.
+func (s *BoolOr) Words() int { return s.ov.Words() }
+
+// Encode maps the client's bit to its λ-bit encoding.
+func (s *BoolOr) Encode(x bool, rnd io.Reader) ([]uint64, error) {
+	return s.ov.encodeBits([]bool{x}, rnd)
+}
+
+// Decode returns the OR of all encoded bits.
+func (s *BoolOr) Decode(agg []uint64) (bool, error) {
+	bits, err := s.ov.decodeBits(agg)
+	if err != nil {
+		return false, err
+	}
+	return bits[0], nil
+}
+
+// BoolAnd computes the logical AND of one private bit per client, by
+// De Morgan duality with BoolOr (encode the negation).
+type BoolAnd struct{ ov orVector }
+
+// NewBoolAnd constructs the AND AFE.
+func NewBoolAnd(lambda int) *BoolAnd {
+	return &BoolAnd{ov: orVector{blocks: 1, lambda: lambda}}
+}
+
+// Name implements XorScheme.
+func (s *BoolAnd) Name() string { return fmt.Sprintf("and%d", s.ov.lambda) }
+
+// Blocks implements XorScheme.
+func (s *BoolAnd) Blocks() int { return 1 }
+
+// Lambda implements XorScheme.
+func (s *BoolAnd) Lambda() int { return s.ov.lambda }
+
+// Words implements XorScheme.
+func (s *BoolAnd) Words() int { return s.ov.Words() }
+
+// Encode maps the client's bit to its encoding (random block iff x = 0).
+func (s *BoolAnd) Encode(x bool, rnd io.Reader) ([]uint64, error) {
+	return s.ov.encodeBits([]bool{!x}, rnd)
+}
+
+// Decode returns the AND of all encoded bits.
+func (s *BoolAnd) Decode(agg []uint64) (bool, error) {
+	bits, err := s.ov.decodeBits(agg)
+	if err != nil {
+		return false, err
+	}
+	return !bits[0], nil
+}
+
+// MinMax computes the exact minimum or maximum of integers over the small
+// range {0, …, B−1} using the unary encoding of Section 5.2: position i
+// carries the bit (i ≤ x). OR-aggregation makes the largest set position the
+// maximum; AND-aggregation makes it the minimum.
+type MinMax struct {
+	ov  orVector
+	max bool
+}
+
+// NewMax constructs the exact-maximum AFE over {0..B-1}.
+func NewMax(B, lambda int) *MinMax {
+	return &MinMax{ov: orVector{blocks: B, lambda: lambda}, max: true}
+}
+
+// NewMin constructs the exact-minimum AFE over {0..B-1}.
+func NewMin(B, lambda int) *MinMax {
+	return &MinMax{ov: orVector{blocks: B, lambda: lambda}, max: false}
+}
+
+// Name implements XorScheme.
+func (s *MinMax) Name() string {
+	if s.max {
+		return fmt.Sprintf("max%d", s.ov.blocks)
+	}
+	return fmt.Sprintf("min%d", s.ov.blocks)
+}
+
+// Blocks implements XorScheme.
+func (s *MinMax) Blocks() int { return s.ov.blocks }
+
+// Lambda implements XorScheme.
+func (s *MinMax) Lambda() int { return s.ov.lambda }
+
+// Words implements XorScheme.
+func (s *MinMax) Words() int { return s.ov.Words() }
+
+// Encode maps x ∈ [0, B) to its unary encoding.
+func (s *MinMax) Encode(x int, rnd io.Reader) ([]uint64, error) {
+	if x < 0 || x >= s.ov.blocks {
+		return nil, fmt.Errorf("%w: %d outside [0,%d)", ErrRange, x, s.ov.blocks)
+	}
+	bits := make([]bool, s.ov.blocks)
+	if s.max {
+		// OR-encoding of the unary bits (i ≤ x).
+		for i := 0; i <= x; i++ {
+			bits[i] = true
+		}
+	} else {
+		// AND is OR of negations: a random block marks (i > x).
+		for i := range bits {
+			bits[i] = i > x
+		}
+	}
+	return s.ov.encodeBits(bits, rnd)
+}
+
+// Decode returns the min or max over all encoded values. ok is false when no
+// client contributed (the aggregate is degenerate).
+func (s *MinMax) Decode(agg []uint64) (v int, ok bool, err error) {
+	bits, err := s.ov.decodeBits(agg)
+	if err != nil {
+		return 0, false, err
+	}
+	if s.max {
+		for i := len(bits) - 1; i >= 0; i-- {
+			if bits[i] {
+				return i, true, nil
+			}
+		}
+		return 0, false, nil
+	}
+	// min: AND-bit at i is (i ≤ min); after OR of negations, bits[i] true
+	// means some client had i > x, i.e. AND failed. Largest run of false
+	// prefixes is the min.
+	for i := 0; i < len(bits); i++ {
+		if bits[i] {
+			if i == 0 {
+				return 0, false, nil
+			}
+			return i - 1, true, nil
+		}
+	}
+	return len(bits) - 1, true, nil
+}
+
+// ApproxMinMax is the large-domain c-approximation of Section 5.2: the range
+// {0, …, B−1} is split into ⌈log_c B⌉ geometric bins and the exact unary
+// scheme runs over bins. Decoded values are within a multiplicative factor c
+// of the truth — the trade the paper suggests for 64-bit packet counters.
+type ApproxMinMax struct {
+	mm   *MinMax
+	c    float64
+	bins int
+}
+
+// NewApproxMax constructs a c-approximate maximum over {0..B-1}, c > 1.
+func NewApproxMax(B uint64, c float64, lambda int) *ApproxMinMax {
+	bins := binCount(B, c)
+	return &ApproxMinMax{mm: NewMax(bins, lambda), c: c, bins: bins}
+}
+
+// NewApproxMin constructs a c-approximate minimum over {0..B-1}.
+func NewApproxMin(B uint64, c float64, lambda int) *ApproxMinMax {
+	bins := binCount(B, c)
+	return &ApproxMinMax{mm: NewMin(bins, lambda), c: c, bins: bins}
+}
+
+func binCount(B uint64, c float64) int {
+	if c <= 1 {
+		panic("afe: approximation factor must exceed 1")
+	}
+	return int(math.Ceil(math.Log(float64(B))/math.Log(c))) + 1
+}
+
+// Name implements XorScheme.
+func (s *ApproxMinMax) Name() string { return "approx-" + s.mm.Name() }
+
+// Blocks implements XorScheme.
+func (s *ApproxMinMax) Blocks() int { return s.mm.Blocks() }
+
+// Lambda implements XorScheme.
+func (s *ApproxMinMax) Lambda() int { return s.mm.Lambda() }
+
+// Words implements XorScheme.
+func (s *ApproxMinMax) Words() int { return s.mm.Words() }
+
+// Encode maps x to its bin's unary encoding.
+func (s *ApproxMinMax) Encode(x uint64, rnd io.Reader) ([]uint64, error) {
+	bin := 0
+	if x > 0 {
+		bin = int(math.Floor(math.Log(float64(x)) / math.Log(s.c)))
+	}
+	if bin >= s.bins {
+		bin = s.bins - 1
+	}
+	return s.mm.Encode(bin, rnd)
+}
+
+// Decode returns a value within a factor of c of the true min/max.
+func (s *ApproxMinMax) Decode(agg []uint64) (v uint64, ok bool, err error) {
+	bin, ok, err := s.mm.Decode(agg)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	return uint64(math.Pow(s.c, float64(bin))), true, nil
+}
+
+// SetOp computes the union (via OR) or intersection (via AND) of
+// small-universe sets represented as characteristic vectors (Section 5.2,
+// "Sets").
+type SetOp struct {
+	ov    orVector
+	union bool
+}
+
+// NewSetUnion constructs the set-union AFE over a universe of size B.
+func NewSetUnion(B, lambda int) *SetOp {
+	return &SetOp{ov: orVector{blocks: B, lambda: lambda}, union: true}
+}
+
+// NewSetIntersection constructs the set-intersection AFE.
+func NewSetIntersection(B, lambda int) *SetOp {
+	return &SetOp{ov: orVector{blocks: B, lambda: lambda}, union: false}
+}
+
+// Name implements XorScheme.
+func (s *SetOp) Name() string {
+	if s.union {
+		return fmt.Sprintf("union%d", s.ov.blocks)
+	}
+	return fmt.Sprintf("intersect%d", s.ov.blocks)
+}
+
+// Blocks implements XorScheme.
+func (s *SetOp) Blocks() int { return s.ov.blocks }
+
+// Lambda implements XorScheme.
+func (s *SetOp) Lambda() int { return s.ov.lambda }
+
+// Words implements XorScheme.
+func (s *SetOp) Words() int { return s.ov.Words() }
+
+// Encode maps a set (member indices in [0, B)) to its encoding.
+func (s *SetOp) Encode(members []int, rnd io.Reader) ([]uint64, error) {
+	bits := make([]bool, s.ov.blocks)
+	for _, m := range members {
+		if m < 0 || m >= s.ov.blocks {
+			return nil, fmt.Errorf("%w: element %d outside universe of %d", ErrRange, m, s.ov.blocks)
+		}
+		bits[m] = true
+	}
+	if !s.union {
+		for i := range bits {
+			bits[i] = !bits[i]
+		}
+	}
+	return s.ov.encodeBits(bits, rnd)
+}
+
+// Decode returns the characteristic vector of the union or intersection.
+func (s *SetOp) Decode(agg []uint64) ([]bool, error) {
+	bits, err := s.ov.decodeBits(agg)
+	if err != nil {
+		return nil, err
+	}
+	if !s.union {
+		for i := range bits {
+			bits[i] = !bits[i]
+		}
+	}
+	return bits, nil
+}
+
+// XorSplit shares an XOR encoding among s servers; it simply re-exports the
+// share-package primitive so pipeline code can stay within afe vocabulary.
+func XorSplit(words []uint64, s int) ([][]uint64, error) { return share.XorSplit(words, s) }
+
+// XorAggregate folds a share into an accumulator in place.
+func XorAggregate(acc, sh []uint64) {
+	for i := range acc {
+		acc[i] ^= sh[i]
+	}
+}

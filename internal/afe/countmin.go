@@ -1,0 +1,87 @@
+package afe
+
+import (
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+	"prio/internal/sketch"
+)
+
+// CountMin is the approximate-count AFE of Appendix G: for item domains too
+// large for an explicit histogram, each client inserts its item into a
+// count-min sketch — one one-hot row per hash function — and the servers
+// aggregate the sketches. The Valid circuit checks each of the R rows is
+// one-hot (R·C multiplication gates), which bounds any malicious client's
+// influence on any count to ±1, the paper's robustness goal.
+//
+// The decoded aggregate leaks the whole summed sketch (the AFE is private
+// with respect to that function, as the paper notes).
+type CountMin[Fd field.Field[E], E any] struct {
+	f field.Field[E]
+	p sketch.Params
+	c *circuit.Circuit[E]
+}
+
+// NewCountMin constructs the sketch AFE with estimates within ε·n of the
+// truth except with probability δ. The paper's browser-statistics
+// configurations are (ε=1/10, δ=2⁻¹⁰) and (ε=1/100, δ=2⁻²⁰).
+func NewCountMin[Fd field.Field[E], E any](f Fd, epsilon, delta float64) *CountMin[Fd, E] {
+	p := sketch.NewParams(epsilon, delta)
+	b := circuit.NewBuilder(f, p.Cells())
+	for r := 0; r < p.Rows; r++ {
+		row := make([]circuit.Wire, p.Cols)
+		for c := 0; c < p.Cols; c++ {
+			row[c] = b.Input(r*p.Cols + c)
+		}
+		b.AssertOneHot(row)
+	}
+	return &CountMin[Fd, E]{f: f, p: p, c: b.Build()}
+}
+
+// Name implements Scheme.
+func (s *CountMin[Fd, E]) Name() string {
+	return fmt.Sprintf("countmin%dx%d", s.p.Rows, s.p.Cols)
+}
+
+// Params returns the sketch dimensions.
+func (s *CountMin[Fd, E]) Params() sketch.Params { return s.p }
+
+// K implements Scheme.
+func (s *CountMin[Fd, E]) K() int { return s.p.Cells() }
+
+// KPrime implements Scheme: the whole sketch is aggregated.
+func (s *CountMin[Fd, E]) KPrime() int { return s.p.Cells() }
+
+// Circuit implements Scheme.
+func (s *CountMin[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode maps an arbitrary byte-string item to its sketch encoding.
+func (s *CountMin[Fd, E]) Encode(item []byte) ([]E, error) {
+	out := make([]E, s.p.Cells())
+	for i := range out {
+		out[i] = s.f.Zero()
+	}
+	for _, pos := range s.p.Positions(item) {
+		out[pos] = s.f.One()
+	}
+	return out, nil
+}
+
+// Decode converts the aggregate into a queryable sketch.
+func (s *CountMin[Fd, E]) Decode(agg []E, n int) (*sketch.Sketch, error) {
+	if len(agg) != s.p.Cells() {
+		return nil, ErrDecode
+	}
+	bound := big.NewInt(int64(n))
+	counts := make([]uint64, len(agg))
+	for i, e := range agg {
+		v, err := toCount(s.f, e, bound)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = v.Uint64()
+	}
+	return sketch.FromCounts(s.p, counts), nil
+}

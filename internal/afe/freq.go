@@ -1,0 +1,116 @@
+package afe
+
+import (
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// FreqCount is the frequency-count AFE of Section 5.2: each client holds a
+// value in {0, …, B−1} and encodes it as the one-hot indicator vector in
+// F^B. The Valid circuit checks that every component is a bit and that they
+// sum to one (B multiplication gates); the aggregate is the full histogram,
+// from which quantiles and modes are computable in the clear.
+type FreqCount[Fd field.Field[E], E any] struct {
+	f Fd
+	b int
+	c *circuit.Circuit[E]
+}
+
+// NewFreqCount constructs the histogram AFE over B buckets.
+func NewFreqCount[Fd field.Field[E], E any](f Fd, B int) *FreqCount[Fd, E] {
+	if B < 2 {
+		panic("afe: NewFreqCount needs at least two buckets")
+	}
+	b := circuit.NewBuilder(f, B)
+	ws := make([]circuit.Wire, B)
+	for i := range ws {
+		ws[i] = b.Input(i)
+	}
+	b.AssertOneHot(ws)
+	return &FreqCount[Fd, E]{f: f, b: B, c: b.Build()}
+}
+
+// Name implements Scheme.
+func (s *FreqCount[Fd, E]) Name() string { return fmt.Sprintf("freq%d", s.b) }
+
+// Buckets returns B.
+func (s *FreqCount[Fd, E]) Buckets() int { return s.b }
+
+// K implements Scheme.
+func (s *FreqCount[Fd, E]) K() int { return s.b }
+
+// KPrime implements Scheme: the whole vector is the histogram.
+func (s *FreqCount[Fd, E]) KPrime() int { return s.b }
+
+// Circuit implements Scheme.
+func (s *FreqCount[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode produces the one-hot encoding of x ∈ [0, B).
+func (s *FreqCount[Fd, E]) Encode(x int) ([]E, error) {
+	if x < 0 || x >= s.b {
+		return nil, fmt.Errorf("%w: bucket %d of %d", ErrRange, x, s.b)
+	}
+	out := make([]E, s.b)
+	for i := range out {
+		out[i] = s.f.Zero()
+	}
+	out[x] = s.f.One()
+	return out, nil
+}
+
+// Decode converts the aggregate to per-bucket counts. The counts must sum to
+// n, which Decode verifies — a defense-in-depth check on top of the SNIPs.
+func (s *FreqCount[Fd, E]) Decode(agg []E, n int) ([]uint64, error) {
+	if len(agg) != s.b {
+		return nil, ErrDecode
+	}
+	bound := big.NewInt(int64(n))
+	out := make([]uint64, s.b)
+	total := uint64(0)
+	for i, e := range agg {
+		v, err := toCount(s.f, e, bound)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.Uint64()
+		total += out[i]
+	}
+	if total != uint64(n) {
+		return nil, fmt.Errorf("%w: histogram sums to %d, want %d", ErrDecode, total, n)
+	}
+	return out, nil
+}
+
+// Mode returns the most frequent bucket of a decoded histogram and its count.
+func Mode(hist []uint64) (bucket int, count uint64) {
+	for i, c := range hist {
+		if c > count {
+			bucket, count = i, c
+		}
+	}
+	return bucket, count
+}
+
+// Quantile returns the smallest bucket q such that at least frac·n of the
+// mass lies in buckets ≤ q (frac in (0,1]; e.g. 0.5 gives the median bucket).
+func Quantile(hist []uint64, frac float64) int {
+	total := uint64(0)
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := frac * float64(total)
+	acc := uint64(0)
+	for i, c := range hist {
+		acc += c
+		if float64(acc) >= target {
+			return i
+		}
+	}
+	return len(hist) - 1
+}

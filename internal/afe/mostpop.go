@@ -1,0 +1,77 @@
+package afe
+
+import (
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// MostPopular is the majority-string AFE of Appendix G (a simplified Bassily-
+// Smith structure): each client encodes its b-bit string bit-by-bit as 0/1
+// field elements; the servers aggregate per-bit counts; decoding rounds each
+// count to 0 or n. Whenever one string is held by more than half the
+// clients, the decoded string is exactly that string.
+//
+// The aggregate leaks the per-bit popularity counts; the AFE is private with
+// respect to that function.
+type MostPopular[Fd field.Field[E], E any] struct {
+	f    Fd
+	bits int
+	c    *circuit.Circuit[E]
+}
+
+// NewMostPopular constructs the AFE for b-bit strings (b ≤ 64 here; longer
+// strings compose from multiple instances via Concat).
+func NewMostPopular[Fd field.Field[E], E any](f Fd, bits int) *MostPopular[Fd, E] {
+	if bits < 1 || bits > 64 {
+		panic("afe: NewMostPopular bits out of range")
+	}
+	b := circuit.NewBuilder(f, bits)
+	for i := 0; i < bits; i++ {
+		b.AssertBit(b.Input(i))
+	}
+	return &MostPopular[Fd, E]{f: f, bits: bits, c: b.Build()}
+}
+
+// Name implements Scheme.
+func (s *MostPopular[Fd, E]) Name() string { return fmt.Sprintf("mostpop%d", s.bits) }
+
+// K implements Scheme.
+func (s *MostPopular[Fd, E]) K() int { return s.bits }
+
+// KPrime implements Scheme.
+func (s *MostPopular[Fd, E]) KPrime() int { return s.bits }
+
+// Circuit implements Scheme.
+func (s *MostPopular[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode maps the low `bits` bits of x to the encoding.
+func (s *MostPopular[Fd, E]) Encode(x uint64) ([]E, error) {
+	if s.bits < 64 && x >= 1<<uint(s.bits) {
+		return nil, fmt.Errorf("%w: %d needs more than %d bits", ErrRange, x, s.bits)
+	}
+	return bitsOf(s.f, x, s.bits), nil
+}
+
+// Decode rounds each per-bit count to a bit of the majority string. It also
+// returns the raw counts, which callers can inspect for confidence.
+func (s *MostPopular[Fd, E]) Decode(agg []E, n int) (str uint64, counts []uint64, err error) {
+	if len(agg) != s.bits || n <= 0 {
+		return 0, nil, ErrDecode
+	}
+	bound := big.NewInt(int64(n))
+	counts = make([]uint64, s.bits)
+	for i, e := range agg {
+		v, err := toCount(s.f, e, bound)
+		if err != nil {
+			return 0, nil, err
+		}
+		counts[i] = v.Uint64()
+		if 2*counts[i] > uint64(n) {
+			str |= 1 << uint(i)
+		}
+	}
+	return str, counts, nil
+}

@@ -1,0 +1,227 @@
+package afe
+
+import (
+	"math"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// TestSumRoundTripQuick: encode→aggregate→decode equals the true sum for
+// random client populations.
+func TestSumRoundTripQuick(t *testing.T) {
+	f := field.NewF64()
+	s := NewSum(f, 16)
+	err := quick.Check(func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var encs [][]uint64
+		want := uint64(0)
+		for _, v := range vals {
+			enc, err := s.Encode(uint64(v))
+			if err != nil {
+				return false
+			}
+			if !circuit.Validate(f, s.Circuit(), enc) {
+				return false
+			}
+			want += uint64(v)
+			encs = append(encs, enc)
+		}
+		got, err := s.Decode(aggregate(f, s, encs), len(encs))
+		return err == nil && got.Uint64() == want
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreqCountRoundTripQuick: the decoded histogram matches exact counts.
+func TestFreqCountRoundTripQuick(t *testing.T) {
+	f := field.NewF64()
+	const B = 8
+	s := NewFreqCount(f, B)
+	err := quick.Check(func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		want := make([]uint64, B)
+		var encs [][]uint64
+		for _, v := range vals {
+			bucket := int(v) % B
+			enc, err := s.Encode(bucket)
+			if err != nil {
+				return false
+			}
+			want[bucket]++
+			encs = append(encs, enc)
+		}
+		got, err := s.Decode(aggregate(f, s, encs), len(encs))
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntVectorRoundTripQuick covers the Table 3 / cell workload encoding.
+func TestIntVectorRoundTripQuick(t *testing.T) {
+	f := field.NewF64()
+	const L, bits = 6, 10
+	s := NewIntVector(f, L, bits)
+	err := quick.Check(func(rows [][6]uint16) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		want := make([]uint64, L)
+		var encs [][]uint64
+		for _, row := range rows {
+			vals := make([]uint64, L)
+			for i := range vals {
+				vals[i] = uint64(row[i]) & ((1 << bits) - 1)
+				want[i] += vals[i]
+			}
+			enc, err := s.Encode(vals)
+			if err != nil {
+				return false
+			}
+			if !circuit.Validate(f, s.Circuit(), enc) {
+				return false
+			}
+			encs = append(encs, enc)
+		}
+		got, err := s.Decode(aggregate(f, s, encs), len(encs))
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i].Uint64() != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationRejection systematically perturbs every component of valid
+// encodings and checks that Valid rejects whenever it must: a component of
+// the aggregated prefix may only change if some validation relation catches
+// it — the robustness definition (Definition 6) in circuit form.
+func TestMutationRejection(t *testing.T) {
+	f := field.NewF64()
+	schemes := []struct {
+		name string
+		s    Scheme[uint64]
+		enc  func() []uint64
+	}{
+		{"sum8", NewSum(f, 8), func() []uint64 {
+			e, _ := NewSum(f, 8).Encode(200)
+			return e
+		}},
+		{"var6", NewVariance(f, 6), func() []uint64 {
+			e, _ := NewVariance(f, 6).Encode(33)
+			return e
+		}},
+		{"freq5", NewFreqCount(f, 5), func() []uint64 {
+			e, _ := NewFreqCount(f, 5).Encode(2)
+			return e
+		}},
+		{"intvec3x4", NewIntVector(f, 3, 4), func() []uint64 {
+			e, _ := NewIntVector(f, 3, 4).Encode([]uint64{1, 15, 7})
+			return e
+		}},
+	}
+	deltas := []uint64{1, 2, field.ModulusF64 - 1, 1 << 40}
+	for _, sc := range schemes {
+		base := sc.enc()
+		if !circuit.Validate(f, sc.s.Circuit(), base) {
+			t.Fatalf("%s: base encoding invalid", sc.name)
+		}
+		rejected, mutations := 0, 0
+		for pos := 0; pos < sc.s.K(); pos++ {
+			for _, d := range deltas {
+				mut := append([]uint64(nil), base...)
+				mut[pos] = f.Add(mut[pos], d)
+				mutations++
+				if !circuit.Validate(f, sc.s.Circuit(), mut) {
+					rejected++
+				}
+			}
+		}
+		// Every single-component perturbation must break some relation in
+		// these encodings (each component is pinned by a bit check or a
+		// recomposition constraint).
+		if rejected != mutations {
+			t.Errorf("%s: only %d/%d single-component mutations rejected",
+				sc.name, rejected, mutations)
+		}
+	}
+
+	// BitVector is the instructive exception: flipping a bit produces
+	// another VALID encoding — robustness bounds a malicious client's
+	// influence to ±1 per question, it does not detect lies. Any mutation
+	// that is NOT a clean bit flip must still be rejected.
+	bv := NewBitVector(f, 6)
+	base, _ := bv.Encode([]bool{true, false, true, true, false, false})
+	for pos := 0; pos < bv.K(); pos++ {
+		for _, d := range deltas {
+			mut := append([]uint64(nil), base...)
+			mut[pos] = f.Add(mut[pos], d)
+			isBit := mut[pos] == 0 || mut[pos] == 1
+			valid := circuit.Validate(f, bv.Circuit(), mut)
+			if valid != isBit {
+				t.Errorf("bits6: pos %d delta %d: valid=%v but component=%d",
+					pos, d, valid, mut[pos])
+			}
+		}
+	}
+}
+
+// TestGeoMeanAccuracyQuick: decoded geometric means stay within fixed-point
+// tolerance of the float truth.
+func TestGeoMeanAccuracyQuick(t *testing.T) {
+	f := field.NewF64()
+	g := NewGeoMean(f, 30, 12)
+	rng := mrand.New(mrand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		logSum := 0.0
+		var encs [][]uint64
+		for i := 0; i < n; i++ {
+			v := 1 + rng.Float64()*1000
+			enc, err := g.EncodeValue(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encs = append(encs, enc)
+			logSum += log2(v)
+		}
+		want := exp2(logSum / float64(n))
+		got, err := g.DecodeGeoMean(aggregate[field.F64, uint64](f, g, encs), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < want*0.999 || got > want*1.001 {
+			t.Errorf("trial %d: geomean = %v, want ≈%v", trial, got, want)
+		}
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func exp2(x float64) float64 { return math.Exp2(x) }

@@ -1,0 +1,179 @@
+package afe
+
+import (
+	"fmt"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// R2 is the model-evaluation AFE of Appendix G ("Evaluating an arbitrary ML
+// model"): given a public linear model ŷ = m_0 + Σ m_j·x_j, each client
+// encodes (y, y², (y−ŷ)², x), and the aggregate reveals exactly the R²
+// coefficient of the model on the population (plus E[y] and Var[y], the
+// leakage the paper states).
+//
+// The Valid circuit range-checks x and y by bit decomposition and checks the
+// two squares — the residual is an affine function of the inputs, so the
+// whole check needs only Σbits + 2 multiplication gates.
+//
+// Model coefficients are integers; apply fixed-point scaling outside (the
+// paper's datasets use 14-bit fixed point). The label y passed to Encode
+// must be on the same scale as the model's outputs.
+type R2[Fd field.Field[E], E any] struct {
+	f        Fd
+	model    []int64 // m_0, m_1, …, m_d
+	xBits    []int
+	yBits    int
+	c        *circuit.Circuit[E]
+	residMax *big.Int // bound on |y − ŷ| for decode sanity checks
+}
+
+// NewR2 constructs the AFE for the given public model over len(xBits)
+// features. model has length d+1 (intercept first).
+func NewR2[Fd field.Field[E], E any](f Fd, model []int64, xBits []int, yBits int) *R2[Fd, E] {
+	d := len(xBits)
+	if len(model) != d+1 {
+		panic("afe: NewR2 model length must be d+1")
+	}
+	if yBits < 1 || yBits > 31 {
+		panic("afe: NewR2 label width out of range")
+	}
+	s := &R2[Fd, E]{f: f, model: append([]int64(nil), model...), xBits: append([]int(nil), xBits...), yBits: yBits}
+
+	totalBits := yBits
+	for _, w := range xBits {
+		if w < 1 || w > 31 {
+			panic("afe: NewR2 feature width out of range")
+		}
+		totalBits += w
+	}
+	// Layout: (y, Y=y², Y*=(y−ŷ)², x_1..x_d | bits of y, bits of each x_j).
+	b := circuit.NewBuilder(f, 3+d+totalBits)
+	yW := b.Input(0)
+	YW := b.Input(1)
+	YstarW := b.Input(2)
+	xW := make([]circuit.Wire, d)
+	for j := 0; j < d; j++ {
+		xW[j] = b.Input(3 + j)
+	}
+	off := 3 + d
+	yBitW := make([]circuit.Wire, yBits)
+	for i := range yBitW {
+		yBitW[i] = b.Input(off + i)
+	}
+	off += yBits
+	b.AssertBitDecomposition(yW, yBitW)
+	for j := 0; j < d; j++ {
+		bitsW := make([]circuit.Wire, xBits[j])
+		for i := range bitsW {
+			bitsW[i] = b.Input(off + i)
+		}
+		off += xBits[j]
+		b.AssertBitDecomposition(xW[j], bitsW)
+	}
+	// Y = y².
+	b.AssertEqual(b.Mul(yW, yW), YW)
+	// resid = y − (m_0 + Σ m_j·x_j): affine, zero multiplication gates.
+	yhat := b.Const(f.FromInt64(model[0]))
+	for j := 0; j < d; j++ {
+		yhat = b.Add(yhat, b.MulConst(xW[j], f.FromInt64(model[j+1])))
+	}
+	resid := b.Sub(yW, yhat)
+	b.AssertEqual(b.Mul(resid, resid), YstarW)
+	s.c = b.Build()
+
+	// |resid| ≤ 2^yBits + |m_0| + Σ |m_j|·2^xBits[j].
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(yBits))
+	bound.Add(bound, big.NewInt(absInt64(model[0])))
+	for j := 0; j < d; j++ {
+		term := new(big.Int).Lsh(big.NewInt(absInt64(model[j+1])), uint(xBits[j]))
+		bound.Add(bound, term)
+	}
+	s.residMax = bound
+	return s
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Name implements Scheme.
+func (s *R2[Fd, E]) Name() string { return fmt.Sprintf("r2-%dd", len(s.xBits)) }
+
+// K implements Scheme.
+func (s *R2[Fd, E]) K() int { return s.c.NumInputs }
+
+// KPrime implements Scheme: (Σy, Σy², Σ(y−ŷ)²) suffice to decode; the
+// feature sums ride along for the leakage function the paper defines.
+func (s *R2[Fd, E]) KPrime() int { return 3 }
+
+// Circuit implements Scheme.
+func (s *R2[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode maps a labeled example to its encoding.
+func (s *R2[Fd, E]) Encode(x []uint64, y uint64) ([]E, error) {
+	f := s.f
+	d := len(s.xBits)
+	if len(x) != d {
+		return nil, fmt.Errorf("%w: %d features, want %d", ErrRange, len(x), d)
+	}
+	if y >= 1<<uint(s.yBits) {
+		return nil, fmt.Errorf("%w: label %d exceeds %d bits", ErrRange, y, s.yBits)
+	}
+	for j, v := range x {
+		if v >= 1<<uint(s.xBits[j]) {
+			return nil, fmt.Errorf("%w: feature %d value %d exceeds %d bits", ErrRange, j, v, s.xBits[j])
+		}
+	}
+	// resid over the integers, then mapped into the field.
+	resid := int64(y) - s.model[0]
+	for j := 0; j < d; j++ {
+		resid -= s.model[j+1] * int64(x[j])
+	}
+	out := make([]E, 0, s.K())
+	out = append(out, f.FromUint64(y), f.FromUint64(y*y), f.Mul(f.FromInt64(resid), f.FromInt64(resid)))
+	for j := 0; j < d; j++ {
+		out = append(out, f.FromUint64(x[j]))
+	}
+	out = append(out, bitsOf(f, y, s.yBits)...)
+	for j := 0; j < d; j++ {
+		out = append(out, bitsOf(f, x[j], s.xBits[j])...)
+	}
+	return out, nil
+}
+
+// Decode returns the model's R² = 1 − Σ(y−ŷ)² / Var-sum on the population.
+func (s *R2[Fd, E]) Decode(agg []E, n int) (float64, error) {
+	if len(agg) != 3 || n <= 0 {
+		return 0, ErrDecode
+	}
+	f := s.f
+	nBig := big.NewInt(int64(n))
+	maxY := new(big.Int).Lsh(big.NewInt(1), uint(s.yBits))
+	sy, err := toCount(f, agg[0], new(big.Int).Mul(nBig, maxY))
+	if err != nil {
+		return 0, err
+	}
+	syy, err := toCount(f, agg[1], new(big.Int).Mul(nBig, new(big.Int).Mul(maxY, maxY)))
+	if err != nil {
+		return 0, err
+	}
+	sseBound := new(big.Int).Mul(nBig, new(big.Int).Mul(s.residMax, s.residMax))
+	sse, err := toCount(f, agg[2], sseBound)
+	if err != nil {
+		return 0, err
+	}
+	syF, _ := new(big.Float).SetInt(sy).Float64()
+	syyF, _ := new(big.Float).SetInt(syy).Float64()
+	sseF, _ := new(big.Float).SetInt(sse).Float64()
+	sst := syyF - syF*syF/float64(n)
+	if sst == 0 {
+		return 0, fmt.Errorf("%w: zero label variance", ErrDecode)
+	}
+	return 1 - sseF/sst, nil
+}

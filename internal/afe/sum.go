@@ -1,0 +1,146 @@
+package afe
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// Sum is the integer summation AFE of Section 5.2: a client's b-bit integer
+// x is encoded as (x, β_0, …, β_{b-1}) ∈ F^{b+1}, the Valid circuit checks
+// that each β is a bit and that the bits recompose x, and the servers
+// aggregate only the first component. Decode returns Σx_i; DecodeMean
+// divides by the client count. The Valid circuit has exactly b
+// multiplication gates.
+type Sum[Fd field.Field[E], E any] struct {
+	f    Fd
+	bits int
+	c    *circuit.Circuit[E]
+}
+
+// NewSum constructs the summation AFE for b-bit integers (1 ≤ b ≤ 63).
+func NewSum[Fd field.Field[E], E any](f Fd, bits int) *Sum[Fd, E] {
+	if bits < 1 || bits > 63 {
+		panic("afe: NewSum bits out of range")
+	}
+	b := circuit.NewBuilder(f, bits+1)
+	bitWires := make([]circuit.Wire, bits)
+	for i := range bitWires {
+		bitWires[i] = b.Input(i + 1)
+	}
+	b.AssertBitDecomposition(b.Input(0), bitWires)
+	return &Sum[Fd, E]{f: f, bits: bits, c: b.Build()}
+}
+
+// Name implements Scheme.
+func (s *Sum[Fd, E]) Name() string { return fmt.Sprintf("sum%d", s.bits) }
+
+// Bits returns the integer width b.
+func (s *Sum[Fd, E]) Bits() int { return s.bits }
+
+// K implements Scheme.
+func (s *Sum[Fd, E]) K() int { return s.bits + 1 }
+
+// KPrime implements Scheme: only the value itself is aggregated.
+func (s *Sum[Fd, E]) KPrime() int { return 1 }
+
+// Circuit implements Scheme.
+func (s *Sum[Fd, E]) Circuit() *circuit.Circuit[E] { return s.c }
+
+// Encode maps x ∈ [0, 2^b) to its encoding.
+func (s *Sum[Fd, E]) Encode(x uint64) ([]E, error) {
+	if s.bits < 64 && x >= 1<<uint(s.bits) {
+		return nil, fmt.Errorf("%w: %d needs more than %d bits", ErrRange, x, s.bits)
+	}
+	out := make([]E, 0, s.K())
+	out = append(out, s.f.FromUint64(x))
+	return append(out, bitsOf(s.f, x, s.bits)...), nil
+}
+
+// MaxClients returns the largest client count for which the aggregate cannot
+// overflow the field: ⌊(p−1)/(2^b−1)⌋.
+func (s *Sum[Fd, E]) MaxClients() *big.Int {
+	max := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(s.bits)), big.NewInt(1))
+	p := s.f.Modulus()
+	p.Sub(p, big.NewInt(1))
+	return p.Div(p, max)
+}
+
+// Decode recovers Σ x_i from the aggregated prefix.
+func (s *Sum[Fd, E]) Decode(agg []E, n int) (*big.Int, error) {
+	if len(agg) != s.KPrime() {
+		return nil, ErrDecode
+	}
+	bound := new(big.Int).Mul(big.NewInt(int64(n)), new(big.Int).Lsh(big.NewInt(1), uint(s.bits)))
+	return toCount(s.f, agg[0], bound)
+}
+
+// DecodeMean recovers the arithmetic mean Σx_i / n.
+func (s *Sum[Fd, E]) DecodeMean(agg []E, n int) (float64, error) {
+	if n <= 0 {
+		return 0, ErrDecode
+	}
+	total, err := s.Decode(agg, n)
+	if err != nil {
+		return 0, err
+	}
+	r := new(big.Rat).SetFrac(total, big.NewInt(int64(n)))
+	out, _ := r.Float64()
+	return out, nil
+}
+
+// GeoMean is the product / geometric-mean AFE: Section 5.2 notes that
+// products "work in exactly the same manner [as sums], except that we encode
+// x using b-bit logarithms". GeoMean encodes log₂(x) in fixed point with
+// fracBits fractional bits and reuses the summation machinery; decoding
+// exponentiates. Results are approximate with error governed by fracBits.
+type GeoMean[Fd field.Field[E], E any] struct {
+	*Sum[Fd, E]
+	fracBits int
+}
+
+// NewGeoMean constructs the geometric-mean AFE. bits is the total fixed-point
+// width of the encoded logarithm, fracBits of which are fractional.
+func NewGeoMean[Fd field.Field[E], E any](f Fd, bits, fracBits int) *GeoMean[Fd, E] {
+	if fracBits < 0 || fracBits >= bits {
+		panic("afe: NewGeoMean fracBits out of range")
+	}
+	return &GeoMean[Fd, E]{Sum: NewSum[Fd, E](f, bits), fracBits: fracBits}
+}
+
+// Name implements Scheme.
+func (g *GeoMean[Fd, E]) Name() string { return fmt.Sprintf("geomean%d.%d", g.bits, g.fracBits) }
+
+// EncodeValue encodes a positive real x as its fixed-point base-2 logarithm.
+func (g *GeoMean[Fd, E]) EncodeValue(x float64) ([]E, error) {
+	if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return nil, fmt.Errorf("%w: geometric mean requires positive finite values", ErrRange)
+	}
+	l := math.Log2(x) * float64(uint64(1)<<uint(g.fracBits))
+	if l < 0 {
+		return nil, fmt.Errorf("%w: value %v below fixed-point range", ErrRange, x)
+	}
+	return g.Sum.Encode(uint64(math.Round(l)))
+}
+
+// DecodeGeoMean recovers the geometric mean (Πx_i)^{1/n}.
+func (g *GeoMean[Fd, E]) DecodeGeoMean(agg []E, n int) (float64, error) {
+	mean, err := g.Sum.DecodeMean(agg, n)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(mean / float64(uint64(1)<<uint(g.fracBits))), nil
+}
+
+// DecodeProduct recovers the product Πx_i (approximately).
+func (g *GeoMean[Fd, E]) DecodeProduct(agg []E, n int) (float64, error) {
+	total, err := g.Sum.Decode(agg, n)
+	if err != nil {
+		return 0, err
+	}
+	tf, _ := new(big.Rat).SetFrac(total, big.NewInt(1<<uint(g.fracBits))).Float64()
+	return math.Exp2(tf), nil
+}

@@ -1,0 +1,110 @@
+// Package baseline implements the "No privacy" comparison point of the
+// paper's evaluation (Section 6.1): a single server that accepts encrypted
+// client submissions directly and aggregates them in the clear — no secret
+// sharing, no proofs, no privacy guarantees whatsoever. Every Prio
+// measurement in Figures 4, 5, 8 and Table 9 is reported relative to this
+// scheme.
+//
+// (The "No robustness" baseline is core.ModeNoRobust: it shares all of
+// Prio's pipeline except verification.)
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prio/internal/field"
+	"prio/internal/sealbox"
+	"prio/internal/transport"
+)
+
+// MsgSubmit is the only message type the no-privacy server understands.
+const MsgSubmit byte = 1
+
+// NoPrivServer accumulates plaintext vectors uploaded over sealed boxes
+// (transport encryption only — the server sees every client's data).
+type NoPrivServer[Fd field.Field[E], E any] struct {
+	f    Fd
+	k    int
+	priv *sealbox.PrivateKey
+	pub  *sealbox.PublicKey
+
+	mu    sync.Mutex
+	acc   []E
+	count uint64
+}
+
+// NewNoPrivServer builds the server for k-element submissions.
+func NewNoPrivServer[Fd field.Field[E], E any](f Fd, k int) (*NoPrivServer[Fd, E], error) {
+	pub, priv, err := sealbox.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	s := &NoPrivServer[Fd, E]{f: f, k: k, priv: priv, pub: pub}
+	s.Reset()
+	return s, nil
+}
+
+// PublicKey returns the upload encryption key.
+func (s *NoPrivServer[Fd, E]) PublicKey() *sealbox.PublicKey { return s.pub }
+
+// Handler returns the transport handler.
+func (s *NoPrivServer[Fd, E]) Handler() transport.Handler { return s.Handle }
+
+// Handle implements the wire protocol: sealed k-element vectors in, ack out.
+func (s *NoPrivServer[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
+	if msgType != MsgSubmit {
+		return nil, fmt.Errorf("baseline: unknown message type %d", msgType)
+	}
+	pt, err := sealbox.Open(s.priv, payload)
+	if err != nil {
+		return nil, err
+	}
+	vec, used, err := field.ReadVec(s.f, pt, s.k)
+	if err != nil || used != len(pt) {
+		return nil, errors.New("baseline: malformed submission")
+	}
+	s.mu.Lock()
+	field.AddVec(s.f, s.acc, vec)
+	s.count++
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// Submit accumulates an already-unsealed vector (for in-process baselines
+// that skip transport framing).
+func (s *NoPrivServer[Fd, E]) Submit(vec []E) error {
+	if len(vec) != s.k {
+		return errors.New("baseline: submission length mismatch")
+	}
+	s.mu.Lock()
+	field.AddVec(s.f, s.acc, vec)
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// Aggregate returns the running sum and submission count.
+func (s *NoPrivServer[Fd, E]) Aggregate() ([]E, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]E(nil), s.acc...)
+	return out, s.count
+}
+
+// Reset clears the accumulator.
+func (s *NoPrivServer[Fd, E]) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acc = make([]E, s.k)
+	for i := range s.acc {
+		s.acc[i] = s.f.Zero()
+	}
+	s.count = 0
+}
+
+// BuildSubmission seals a plaintext vector for upload.
+func BuildSubmission[Fd field.Field[E], E any](f Fd, pub *sealbox.PublicKey, vec []E) ([]byte, error) {
+	return sealbox.Seal(pub, field.AppendVec(f, nil, vec))
+}

@@ -1,0 +1,152 @@
+package circuit
+
+import "prio/internal/field"
+
+// Wire is an opaque handle to a circuit wire, produced and consumed by a
+// Builder.
+type Wire int
+
+// Builder constructs circuits gate by gate. It deduplicates constant gates
+// and maintains the multiplication-gate index as it goes. The zero Builder
+// is not usable; call NewBuilder.
+type Builder[Fd field.Field[E], E any] struct {
+	f      Fd
+	c      *Circuit[E]
+	inputs []Wire
+	consts map[string]Wire // canonical encoding -> wire, for deduplication
+}
+
+// NewBuilder starts a circuit over numInputs inputs. The input gates are
+// created eagerly so Input(i) is always valid.
+func NewBuilder[Fd field.Field[E], E any](f Fd, numInputs int) *Builder[Fd, E] {
+	b := &Builder[Fd, E]{
+		f:      f,
+		c:      &Circuit[E]{NumInputs: numInputs},
+		consts: make(map[string]Wire),
+	}
+	b.inputs = make([]Wire, numInputs)
+	for i := 0; i < numInputs; i++ {
+		b.c.Gates = append(b.c.Gates, Gate[E]{Op: OpInput, A: i})
+		b.inputs[i] = Wire(i)
+	}
+	return b
+}
+
+// Input returns the wire carrying input i.
+func (b *Builder[Fd, E]) Input(i int) Wire { return b.inputs[i] }
+
+// Const returns a wire carrying the constant v, reusing an existing gate if
+// the same constant was requested before.
+func (b *Builder[Fd, E]) Const(v E) Wire {
+	key := string(b.f.AppendElem(nil, v))
+	if w, ok := b.consts[key]; ok {
+		return w
+	}
+	w := b.push(Gate[E]{Op: OpConst, K: v})
+	b.consts[key] = w
+	return w
+}
+
+// One returns a wire carrying 1.
+func (b *Builder[Fd, E]) One() Wire { return b.Const(b.f.One()) }
+
+// Add returns a wire carrying x + y.
+func (b *Builder[Fd, E]) Add(x, y Wire) Wire {
+	return b.push(Gate[E]{Op: OpAdd, A: int(x), B: int(y)})
+}
+
+// Sub returns a wire carrying x - y.
+func (b *Builder[Fd, E]) Sub(x, y Wire) Wire {
+	return b.push(Gate[E]{Op: OpSub, A: int(x), B: int(y)})
+}
+
+// Mul returns a wire carrying x * y. Each call adds one multiplication gate
+// and therefore lengthens the SNIP proof by one point.
+func (b *Builder[Fd, E]) Mul(x, y Wire) Wire {
+	w := b.push(Gate[E]{Op: OpMul, A: int(x), B: int(y)})
+	b.c.MulGates = append(b.c.MulGates, int(w))
+	return w
+}
+
+// MulConst returns a wire carrying k * x; it costs no multiplication gate.
+func (b *Builder[Fd, E]) MulConst(x Wire, k E) Wire {
+	return b.push(Gate[E]{Op: OpMulConst, A: int(x), K: k})
+}
+
+// AssertZero requires wire w to equal zero in any valid input.
+func (b *Builder[Fd, E]) AssertZero(w Wire) { b.c.Asserts = append(b.c.Asserts, int(w)) }
+
+// AssertEqual requires x == y; it costs one subtraction gate.
+func (b *Builder[Fd, E]) AssertEqual(x, y Wire) { b.AssertZero(b.Sub(x, y)) }
+
+// AssertBit requires x ∈ {0,1} via the constraint x·(x−1) = 0 — one
+// multiplication gate, the idiom behind every bit-validity check in the
+// paper's encodings (Section 5.2).
+func (b *Builder[Fd, E]) AssertBit(x Wire) {
+	b.AssertZero(b.Mul(x, b.Sub(x, b.One())))
+}
+
+// WeightedSum returns Σ coeffs[i]·ws[i] using only affine gates.
+func (b *Builder[Fd, E]) WeightedSum(ws []Wire, coeffs []E) Wire {
+	if len(ws) != len(coeffs) {
+		panic("circuit: WeightedSum length mismatch")
+	}
+	if len(ws) == 0 {
+		return b.Const(b.f.Zero())
+	}
+	acc := b.MulConst(ws[0], coeffs[0])
+	for i := 1; i < len(ws); i++ {
+		acc = b.Add(acc, b.MulConst(ws[i], coeffs[i]))
+	}
+	return acc
+}
+
+// Sum returns Σ ws[i] using only affine gates.
+func (b *Builder[Fd, E]) Sum(ws []Wire) Wire {
+	if len(ws) == 0 {
+		return b.Const(b.f.Zero())
+	}
+	acc := ws[0]
+	for _, w := range ws[1:] {
+		acc = b.Add(acc, w)
+	}
+	return acc
+}
+
+// AssertBitDecomposition requires that value = Σ 2^i bits[i] and that every
+// bits[i] is a 0/1 value: the b-bit integer validity check of the summation
+// AFE (Section 5.2). It costs len(bits) multiplication gates.
+func (b *Builder[Fd, E]) AssertBitDecomposition(value Wire, bits []Wire) {
+	coeffs := make([]E, len(bits))
+	pow := b.f.One()
+	two := b.f.FromUint64(2)
+	for i := range bits {
+		coeffs[i] = pow
+		pow = b.f.Mul(pow, two)
+		b.AssertBit(bits[i])
+	}
+	b.AssertEqual(value, b.WeightedSum(bits, coeffs))
+}
+
+// AssertOneHot requires that every ws[i] is a bit and Σ ws[i] = 1: the
+// frequency-count encoding check (Section 5.2). It costs len(ws)
+// multiplication gates.
+func (b *Builder[Fd, E]) AssertOneHot(ws []Wire) {
+	for _, w := range ws {
+		b.AssertBit(w)
+	}
+	b.AssertEqual(b.Sum(ws), b.One())
+}
+
+// Build finalizes and returns the circuit. The Builder must not be used
+// afterwards.
+func (b *Builder[Fd, E]) Build() *Circuit[E] {
+	c := b.c
+	b.c = nil
+	return c
+}
+
+func (b *Builder[Fd, E]) push(g Gate[E]) Wire {
+	b.c.Gates = append(b.c.Gates, g)
+	return Wire(len(b.c.Gates) - 1)
+}

@@ -1,0 +1,209 @@
+// Package circuit implements the arithmetic circuits of Appendix C.1: DAGs
+// of field additions, subtractions, multiplications, and multiplications by
+// constants over input wires. Every AFE's Valid predicate (Section 5) is
+// expressed as a circuit from this package, and the SNIP machinery
+// (Section 4) proves that a secret-shared input satisfies it.
+//
+// Convention: rather than a single output wire that must equal one, a
+// circuit carries a list of assertion wires that must all equal zero. This
+// is the form used by the paper's own implementation (Appendix I, circuit
+// optimization): the verifiers check all assertions at once by publishing a
+// random linear combination of the assertion wires' shares. A traditional
+// "Valid(x) = 1" circuit is the special case of asserting out - 1 = 0.
+package circuit
+
+import (
+	"fmt"
+
+	"prio/internal/field"
+)
+
+// Op identifies a gate's operation.
+type Op uint8
+
+// Gate operations. OpInput gates bind wire values to circuit inputs; the
+// remaining operations combine earlier wires.
+const (
+	OpInput    Op = iota // wire = x[A]
+	OpConst              // wire = K
+	OpAdd                // wire = w[A] + w[B]
+	OpSub                // wire = w[A] - w[B]
+	OpMul                // wire = w[A] * w[B]  (counts toward M)
+	OpMulConst           // wire = K * w[A]
+)
+
+// Gate is one node of the circuit DAG. The output of gate i is wire i; A and
+// B refer to earlier wires.
+type Gate[E any] struct {
+	Op   Op
+	A, B int
+	K    E
+}
+
+// Circuit is an arithmetic circuit over NumInputs inputs. Gates are stored
+// in topological order; MulGates lists the wire indices of multiplication
+// gates in that order (their count is the M of the paper); Asserts lists the
+// wires that must evaluate to zero for the input to be valid.
+type Circuit[E any] struct {
+	NumInputs int
+	Gates     []Gate[E]
+	MulGates  []int
+	Asserts   []int
+}
+
+// M returns the number of multiplication gates, the parameter that governs
+// SNIP proof size and verification cost.
+func (c *Circuit[E]) M() int { return len(c.MulGates) }
+
+// NumWires returns the total number of wires in the circuit.
+func (c *Circuit[E]) NumWires() int { return len(c.Gates) }
+
+// Check verifies structural well-formedness: topological operand order,
+// input indices in range, and assertion wires in range. Circuits built via
+// Builder always pass; Check guards hand-constructed ones.
+func (c *Circuit[E]) Check() error {
+	mul := 0
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpInput:
+			if g.A < 0 || g.A >= c.NumInputs {
+				return fmt.Errorf("circuit: gate %d reads input %d of %d", i, g.A, c.NumInputs)
+			}
+		case OpConst:
+		case OpAdd, OpSub, OpMul:
+			if g.A < 0 || g.A >= i || g.B < 0 || g.B >= i {
+				return fmt.Errorf("circuit: gate %d has non-topological operands (%d,%d)", i, g.A, g.B)
+			}
+			if g.Op == OpMul {
+				if mul >= len(c.MulGates) || c.MulGates[mul] != i {
+					return fmt.Errorf("circuit: MulGates out of sync at gate %d", i)
+				}
+				mul++
+			}
+		case OpMulConst:
+			if g.A < 0 || g.A >= i {
+				return fmt.Errorf("circuit: gate %d has non-topological operand %d", i, g.A)
+			}
+		default:
+			return fmt.Errorf("circuit: gate %d has unknown op %d", i, g.Op)
+		}
+	}
+	if mul != len(c.MulGates) {
+		return fmt.Errorf("circuit: MulGates lists %d gates, found %d", len(c.MulGates), mul)
+	}
+	for _, w := range c.Asserts {
+		if w < 0 || w >= len(c.Gates) {
+			return fmt.Errorf("circuit: assertion wire %d out of range", w)
+		}
+	}
+	return nil
+}
+
+// Trace is the result of evaluating a circuit in the clear: every wire
+// value, plus the left (U) and right (V) inputs of each multiplication gate
+// in order — exactly the values the SNIP prover interpolates into f and g.
+type Trace[E any] struct {
+	Wires []E
+	U, V  []E
+}
+
+// Eval evaluates the circuit on input x, returning the full trace.
+func Eval[Fd field.Field[E], E any](f Fd, c *Circuit[E], x []E) Trace[E] {
+	if len(x) != c.NumInputs {
+		panic("circuit: Eval input length mismatch")
+	}
+	w := make([]E, len(c.Gates))
+	u := make([]E, 0, c.M())
+	v := make([]E, 0, c.M())
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpInput:
+			w[i] = x[g.A]
+		case OpConst:
+			w[i] = g.K
+		case OpAdd:
+			w[i] = f.Add(w[g.A], w[g.B])
+		case OpSub:
+			w[i] = f.Sub(w[g.A], w[g.B])
+		case OpMul:
+			u = append(u, w[g.A])
+			v = append(v, w[g.B])
+			w[i] = f.Mul(w[g.A], w[g.B])
+		case OpMulConst:
+			w[i] = f.Mul(g.K, w[g.A])
+		}
+	}
+	return Trace[E]{Wires: w, U: u, V: v}
+}
+
+// Validate reports whether every assertion wire evaluates to zero on x.
+func Validate[Fd field.Field[E], E any](f Fd, c *Circuit[E], x []E) bool {
+	tr := Eval(f, c, x)
+	for _, a := range c.Asserts {
+		if !f.IsZero(tr.Wires[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShareTrace is the result of evaluating a circuit on a secret share of the
+// input. U and V hold the server's shares of f(ω_t) and g(ω_t) for each
+// multiplication gate t; Wires holds the server's share of every wire.
+type ShareTrace[E any] struct {
+	Wires []E
+	U, V  []E
+}
+
+// EvalShares walks the circuit on this server's input share. Multiplication
+// gates cannot be evaluated locally, so their output-wire shares are taken
+// from hAtMul — the client-supplied shares of h(ω_t) (Section 4.2, step 2).
+// Affine gates operate share-wise; exactly one server (includeConst) folds
+// public constants into its shares so that the constants are counted once
+// in the share sum.
+func EvalShares[Fd field.Field[E], E any](f Fd, c *Circuit[E], xShare []E, hAtMul []E, includeConst bool) ShareTrace[E] {
+	if len(xShare) != c.NumInputs {
+		panic("circuit: EvalShares input length mismatch")
+	}
+	if len(hAtMul) != c.M() {
+		panic("circuit: EvalShares needs one h value per multiplication gate")
+	}
+	w := make([]E, len(c.Gates))
+	u := make([]E, 0, c.M())
+	v := make([]E, 0, c.M())
+	mul := 0
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpInput:
+			w[i] = xShare[g.A]
+		case OpConst:
+			if includeConst {
+				w[i] = g.K
+			} else {
+				w[i] = f.Zero()
+			}
+		case OpAdd:
+			w[i] = f.Add(w[g.A], w[g.B])
+		case OpSub:
+			w[i] = f.Sub(w[g.A], w[g.B])
+		case OpMul:
+			u = append(u, w[g.A])
+			v = append(v, w[g.B])
+			w[i] = hAtMul[mul]
+			mul++
+		case OpMulConst:
+			w[i] = f.Mul(g.K, w[g.A])
+		}
+	}
+	return ShareTrace[E]{Wires: w, U: u, V: v}
+}
+
+// AssertShares returns the server's shares of the assertion wires from a
+// share trace, in circuit order.
+func AssertShares[E any](c *Circuit[E], st ShareTrace[E]) []E {
+	out := make([]E, len(c.Asserts))
+	for i, a := range c.Asserts {
+		out[i] = st.Wires[a]
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package circuit
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"prio/internal/field"
+	"prio/internal/share"
+)
+
+// buildRange4 builds the 4-bit-integer validity circuit from Section 5.2:
+// inputs are (x, b0..b3); asserts x = Σ 2^i b_i and each b_i ∈ {0,1}.
+func buildRange4(f field.F64) *Circuit[uint64] {
+	b := NewBuilder(f, 5)
+	bits := []Wire{b.Input(1), b.Input(2), b.Input(3), b.Input(4)}
+	b.AssertBitDecomposition(b.Input(0), bits)
+	return b.Build()
+}
+
+func encode4(v uint64) []uint64 {
+	return []uint64{v, v & 1, (v >> 1) & 1, (v >> 2) & 1, (v >> 3) & 1}
+}
+
+func TestRangeCircuitValidate(t *testing.T) {
+	f := field.NewF64()
+	c := buildRange4(f)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 4 {
+		t.Fatalf("M = %d, want 4", c.M())
+	}
+	for v := uint64(0); v < 16; v++ {
+		if !Validate(f, c, encode4(v)) {
+			t.Errorf("valid encoding of %d rejected", v)
+		}
+	}
+	bad := [][]uint64{
+		{16, 0, 0, 0, 0},                   // value out of range, bits inconsistent
+		{3, 1, 1, 1, 0},                    // bits say 7
+		{2, 0, 2, 0, 0},                    // non-bit "bit"
+		{5, 1, 0, 1, field.ModulusF64 - 1}, // huge "bit"
+		{0, 0, 0, 0, field.ModulusF64 - 1}, // negative-looking bit
+		{15, 1, 1, 1, 0},                   // off by 8
+	}
+	for i, x := range bad {
+		if Validate(f, c, x) {
+			t.Errorf("invalid encoding %d accepted", i)
+		}
+	}
+}
+
+func TestEvalTraceMulOperands(t *testing.T) {
+	f := field.NewF64()
+	// z = (x0 + x1) * x2; assert z - x3 = 0.
+	b := NewBuilder(f, 4)
+	sum := b.Add(b.Input(0), b.Input(1))
+	z := b.Mul(sum, b.Input(2))
+	b.AssertEqual(z, b.Input(3))
+	c := b.Build()
+
+	x := []uint64{3, 4, 5, 35}
+	tr := Eval(f, c, x)
+	if len(tr.U) != 1 || len(tr.V) != 1 {
+		t.Fatalf("trace has %d/%d mul operands", len(tr.U), len(tr.V))
+	}
+	if tr.U[0] != 7 || tr.V[0] != 5 {
+		t.Errorf("mul operands = (%d,%d), want (7,5)", tr.U[0], tr.V[0])
+	}
+	if !Validate(f, c, x) {
+		t.Error("consistent input rejected")
+	}
+	if Validate(f, c, []uint64{3, 4, 5, 34}) {
+		t.Error("inconsistent input accepted")
+	}
+}
+
+func TestEvalSharesSumToClearTrace(t *testing.T) {
+	f := field.NewF64()
+	c := buildRange4(f)
+	x := encode4(11)
+	tr := Eval(f, c, x)
+
+	const s = 3
+	xShares, err := share.Split(f, rand.Reader, x, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct h values are the true mul-gate outputs; share them too.
+	hClear := make([]uint64, c.M())
+	for t2, w := range c.MulGates {
+		hClear[t2] = tr.Wires[w]
+	}
+	hShares, err := share.Split(f, rand.Reader, hClear, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traces := make([]ShareTrace[uint64], s)
+	for i := 0; i < s; i++ {
+		traces[i] = EvalShares(f, c, xShares[i], hShares[i], i == 0)
+	}
+
+	// Sum of share wires must equal the clear wires.
+	sumW := make([]uint64, len(tr.Wires))
+	sumU := make([]uint64, len(tr.U))
+	sumV := make([]uint64, len(tr.V))
+	for i := 0; i < s; i++ {
+		field.AddVec(f, sumW, traces[i].Wires)
+		field.AddVec(f, sumU, traces[i].U)
+		field.AddVec(f, sumV, traces[i].V)
+	}
+	if !field.EqualVec(f, sumW, tr.Wires) {
+		t.Error("share-trace wires do not sum to clear wires")
+	}
+	if !field.EqualVec(f, sumU, tr.U) || !field.EqualVec(f, sumV, tr.V) {
+		t.Error("share-trace mul operands do not sum to clear operands")
+	}
+
+	// Assertion shares must sum to zero for a valid input.
+	for _, a := range c.Asserts {
+		total := uint64(0)
+		for i := 0; i < s; i++ {
+			total = f.Add(total, traces[i].Wires[a])
+		}
+		if total != 0 {
+			t.Errorf("assertion wire %d sums to %d, want 0", a, total)
+		}
+	}
+}
+
+func TestConstDeduplication(t *testing.T) {
+	f := field.NewF64()
+	b := NewBuilder(f, 1)
+	w1 := b.One()
+	w2 := b.One()
+	w3 := b.Const(1)
+	if w1 != w2 || w1 != w3 {
+		t.Error("constant gates were not deduplicated")
+	}
+	w4 := b.Const(2)
+	if w4 == w1 {
+		t.Error("distinct constants share a wire")
+	}
+}
+
+func TestAssertOneHot(t *testing.T) {
+	f := field.NewF64()
+	b := NewBuilder(f, 4)
+	b.AssertOneHot([]Wire{b.Input(0), b.Input(1), b.Input(2), b.Input(3)})
+	c := b.Build()
+	if c.M() != 4 {
+		t.Fatalf("M = %d, want 4", c.M())
+	}
+	if !Validate(f, c, []uint64{0, 0, 1, 0}) {
+		t.Error("one-hot vector rejected")
+	}
+	for _, bad := range [][]uint64{
+		{0, 0, 0, 0},
+		{1, 1, 0, 0},
+		{0, 2, 0, 0},
+		{field.ModulusF64 - 1, 1, 1, 0}, // sums to 1 but not bits
+	} {
+		if Validate(f, c, bad) {
+			t.Errorf("non-one-hot vector %v accepted", bad)
+		}
+	}
+}
+
+func TestWeightedSumAndSum(t *testing.T) {
+	f := field.NewF64()
+	b := NewBuilder(f, 3)
+	ws := []Wire{b.Input(0), b.Input(1), b.Input(2)}
+	wsum := b.WeightedSum(ws, []uint64{1, 10, 100})
+	b.AssertEqual(wsum, b.Const(321))
+	plain := b.Sum(ws)
+	b.AssertEqual(plain, b.Const(6))
+	c := b.Build()
+	if c.M() != 0 {
+		t.Errorf("affine circuit has %d mul gates", c.M())
+	}
+	if !Validate(f, c, []uint64{1, 2, 3}) {
+		t.Error("weighted-sum circuit rejected correct input")
+	}
+	if Validate(f, c, []uint64{1, 2, 4}) {
+		t.Error("weighted-sum circuit accepted wrong input")
+	}
+}
+
+func TestEmptySumsAreZero(t *testing.T) {
+	f := field.NewF64()
+	b := NewBuilder(f, 1)
+	z := b.Sum(nil)
+	b.AssertZero(z)
+	z2 := b.WeightedSum(nil, nil)
+	b.AssertZero(z2)
+	c := b.Build()
+	if !Validate(f, c, []uint64{42}) {
+		t.Error("empty sums should assert cleanly")
+	}
+}
+
+func TestCheckRejectsMalformed(t *testing.T) {
+	f := field.NewF64()
+	// Non-topological operand.
+	c := &Circuit[uint64]{
+		NumInputs: 1,
+		Gates: []Gate[uint64]{
+			{Op: OpInput, A: 0},
+			{Op: OpAdd, A: 0, B: 2},
+		},
+	}
+	if err := c.Check(); err == nil {
+		t.Error("Check accepted forward reference")
+	}
+	// Input out of range.
+	c2 := &Circuit[uint64]{
+		NumInputs: 1,
+		Gates:     []Gate[uint64]{{Op: OpInput, A: 5}},
+	}
+	if err := c2.Check(); err == nil {
+		t.Error("Check accepted bad input index")
+	}
+	// MulGates out of sync.
+	c3 := &Circuit[uint64]{
+		NumInputs: 2,
+		Gates: []Gate[uint64]{
+			{Op: OpInput, A: 0},
+			{Op: OpInput, A: 1},
+			{Op: OpMul, A: 0, B: 1},
+		},
+	}
+	if err := c3.Check(); err == nil {
+		t.Error("Check accepted missing MulGates entry")
+	}
+	// Assertion out of range.
+	c4 := &Circuit[uint64]{
+		NumInputs: 1,
+		Gates:     []Gate[uint64]{{Op: OpInput, A: 0}},
+		Asserts:   []int{3},
+	}
+	if err := c4.Check(); err == nil {
+		t.Error("Check accepted bad assertion wire")
+	}
+	_ = f
+}
+
+func TestBuilderCircuitsPassCheck(t *testing.T) {
+	f := field.NewF64()
+	c := buildRange4(f)
+	if err := c.Check(); err != nil {
+		t.Errorf("builder circuit fails Check: %v", err)
+	}
+	if got := c.NumWires(); got != len(c.Gates) {
+		t.Errorf("NumWires = %d, want %d", got, len(c.Gates))
+	}
+}
+
+func TestF128Circuit(t *testing.T) {
+	f := field.NewF128()
+	b := NewBuilder(f, 2)
+	// assert x0^2 == x1
+	sq := b.Mul(b.Input(0), b.Input(0))
+	b.AssertEqual(sq, b.Input(1))
+	c := b.Build()
+	x0 := f.FromUint64(123456789)
+	good := []field.U128{x0, f.Mul(x0, x0)}
+	if !Validate(f, c, good) {
+		t.Error("square relation rejected")
+	}
+	bad := []field.U128{x0, f.Add(f.Mul(x0, x0), f.One())}
+	if Validate(f, c, bad) {
+		t.Error("broken square relation accepted")
+	}
+}

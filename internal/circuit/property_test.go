@@ -1,0 +1,151 @@
+package circuit
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"prio/internal/field"
+	"prio/internal/share"
+)
+
+// randCircuit builds a random well-formed circuit over nIn inputs with
+// roughly nGates gates, deterministically from seed.
+func randCircuit(seed int64, nIn, nGates int) *Circuit[uint64] {
+	f := field.NewF64()
+	rng := mrand.New(mrand.NewSource(seed))
+	b := NewBuilder(f, nIn)
+	wires := make([]Wire, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		wires = append(wires, b.Input(i))
+	}
+	pick := func() Wire { return wires[rng.Intn(len(wires))] }
+	for g := 0; g < nGates; g++ {
+		var w Wire
+		switch rng.Intn(5) {
+		case 0:
+			w = b.Add(pick(), pick())
+		case 1:
+			w = b.Sub(pick(), pick())
+		case 2:
+			w = b.Mul(pick(), pick())
+		case 3:
+			w = b.MulConst(pick(), uint64(rng.Intn(1000)))
+		default:
+			w = b.Const(uint64(rng.Intn(1000)))
+		}
+		wires = append(wires, w)
+	}
+	// Assert a couple of random wires (values arbitrary; the property tests
+	// only compare share evaluation with clear evaluation).
+	b.AssertZero(pick())
+	b.AssertZero(pick())
+	return b.Build()
+}
+
+// TestEvalSharesMatchesClearQuick is the structural core of SNIP
+// verification: for ANY circuit and ANY input, share-evaluating with correct
+// h values must reproduce the clear trace in the exponent of the sharing.
+func TestEvalSharesMatchesClearQuick(t *testing.T) {
+	f := field.NewF64()
+	err := quick.Check(func(seed int64, rawX []uint64, sRaw uint8) bool {
+		nIn := len(rawX)
+		if nIn == 0 || nIn > 12 {
+			return true
+		}
+		s := int(sRaw%4) + 1
+		c := randCircuit(seed, nIn, 20)
+		if err := c.Check(); err != nil {
+			t.Fatalf("random circuit malformed: %v", err)
+		}
+		x := make([]uint64, nIn)
+		for i := range x {
+			x[i] = rawX[i] % field.ModulusF64
+		}
+		tr := Eval(f, c, x)
+
+		hClear := make([]uint64, c.M())
+		for i, w := range c.MulGates {
+			hClear[i] = tr.Wires[w]
+		}
+		xs, err := share.Split(f, rand.Reader, x, s)
+		if err != nil {
+			return false
+		}
+		hs, err := share.Split(f, rand.Reader, hClear, s)
+		if err != nil {
+			return false
+		}
+		sumW := make([]uint64, len(tr.Wires))
+		sumU := make([]uint64, len(tr.U))
+		sumV := make([]uint64, len(tr.V))
+		for i := 0; i < s; i++ {
+			st := EvalShares(f, c, xs[i], hs[i], i == 0)
+			field.AddVec(f, sumW, st.Wires)
+			field.AddVec(f, sumU, st.U)
+			field.AddVec(f, sumV, st.V)
+		}
+		return field.EqualVec(f, sumW, tr.Wires) &&
+			field.EqualVec(f, sumU, tr.U) &&
+			field.EqualVec(f, sumV, tr.V)
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssertSharesExtractsAsserts(t *testing.T) {
+	f := field.NewF64()
+	c := randCircuit(42, 4, 15)
+	x := []uint64{1, 2, 3, 4}
+	tr := Eval(f, c, x)
+	hClear := make([]uint64, c.M())
+	for i, w := range c.MulGates {
+		hClear[i] = tr.Wires[w]
+	}
+	st := EvalShares(f, c, x, hClear, true) // single "server" holding everything
+	got := AssertShares(c, ShareTrace[uint64]{Wires: st.Wires})
+	if len(got) != len(c.Asserts) {
+		t.Fatalf("AssertShares returned %d values for %d asserts", len(got), len(c.Asserts))
+	}
+	for i, a := range c.Asserts {
+		if got[i] != tr.Wires[a] {
+			t.Errorf("assert %d = %d, want %d", i, got[i], tr.Wires[a])
+		}
+	}
+}
+
+func TestRandomCircuitsPassCheckQuick(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		c := randCircuit(seed, 5, 30)
+		return c.Check() == nil && c.M() == len(c.MulGates)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalPanicsOnWrongInputLength(t *testing.T) {
+	f := field.NewF64()
+	c := randCircuit(1, 3, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval accepted wrong-length input")
+		}
+	}()
+	Eval(f, c, []uint64{1})
+}
+
+func TestEvalSharesPanicsOnWrongHLength(t *testing.T) {
+	f := field.NewF64()
+	b := NewBuilder(f, 1)
+	b.AssertBit(b.Input(0))
+	c := b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalShares accepted wrong h length")
+		}
+	}()
+	EvalShares(f, c, []uint64{1}, nil, true)
+}

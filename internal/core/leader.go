@@ -1,0 +1,426 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prio/internal/field"
+	"prio/internal/mpc"
+	"prio/internal/sealbox"
+	"prio/internal/snip"
+	"prio/internal/transport"
+)
+
+// Leader drives the verification of client submissions across the server
+// set (Appendix I: "we assign a single Prio server to be the leader that
+// coordinates the checking of each client data submission"). The leader is
+// itself one of the servers; in processing a batch it transmits roughly s
+// times more bytes than a non-leader, which is why deployments rotate
+// leadership across servers for load balance (Figure 5).
+type Leader[Fd field.Field[E], E any] struct {
+	*Server[Fd, E]
+	peers []transport.Peer // indexed by server; peers[Index()] is a loopback
+
+	lmu       sync.Mutex
+	challID   uint32
+	haveChall bool
+	batchSeq  uint64
+	sinceCh   int
+}
+
+// NewLeader wraps a server with coordination duties. peers must hold one
+// Peer per server in index order; the leader's own slot should be a
+// transport.LoopbackPeer (NewLocalCluster arranges this).
+//
+// Any server may lead, and several may lead concurrently for different
+// submissions — the load-balancing arrangement behind Figure 5 ("each
+// server is a leader for a smaller share of incoming submissions").
+// Challenge and batch identifiers are namespaced by the leader's index so
+// concurrent leaders never collide in the servers' session tables.
+func NewLeader[Fd field.Field[E], E any](srv *Server[Fd, E], peers []transport.Peer) (*Leader[Fd, E], error) {
+	if len(peers) != srv.pro.Cfg.Servers {
+		return nil, fmt.Errorf("core: leader needs %d peers, got %d", srv.pro.Cfg.Servers, len(peers))
+	}
+	return &Leader[Fd, E]{
+		Server:   srv,
+		peers:    peers,
+		challID:  uint32(srv.idx) << 24,
+		batchSeq: uint64(srv.idx) << 48,
+	}, nil
+}
+
+// newChallenge samples fresh verification randomness for the deployment.
+func (p *Protocol[Fd, E]) newChallenge() (*challenge[E], error) {
+	ch := &challenge[E]{}
+	if sys := p.snipSys(); sys != nil {
+		sn, err := sys.NewChallenge(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		ch.sn = sn
+	}
+	if p.Cfg.Mode == ModeMPC {
+		rho, err := field.SampleVec(p.Cfg.Field, rand.Reader, len(p.Cfg.Scheme.Circuit().Asserts))
+		if err != nil {
+			return nil, err
+		}
+		ch.validRho = rho
+	}
+	return ch, nil
+}
+
+// broadcast issues the same call to every server in parallel and collects
+// the responses in server order.
+func (l *Leader[Fd, E]) broadcast(msgType byte, payloads [][]byte) ([][]byte, error) {
+	s := len(l.peers)
+	resps := make([][]byte, s)
+	errs := make([]error, s)
+	var wg sync.WaitGroup
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = l.peers[i].Call(msgType, payloads[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", i, err)
+		}
+	}
+	return resps, nil
+}
+
+// same builds an identical payload list for broadcast.
+func (l *Leader[Fd, E]) same(payload []byte) [][]byte {
+	out := make([][]byte, len(l.peers))
+	for i := range out {
+		out[i] = payload
+	}
+	return out
+}
+
+// ensureChallenge rotates the shared challenge when the Appendix-I window Q
+// is exhausted (or none exists yet).
+func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
+	if l.pro.Cfg.Mode == ModeNoRobust {
+		return nil
+	}
+	if l.haveChall && l.sinceCh+upcoming <= l.pro.Cfg.ChallengeEvery {
+		return nil
+	}
+	ch, err := l.pro.newChallenge()
+	if err != nil {
+		return err
+	}
+	l.challID++
+	w := &wbuf{}
+	w.u32(l.challID)
+	w.raw(l.pro.marshalChallenge(ch))
+	if _, err := l.broadcast(MsgSetChallenge, l.same(w.b)); err != nil {
+		return err
+	}
+	l.haveChall = true
+	l.sinceCh = 0
+	return nil
+}
+
+// ProcessBatch verifies and aggregates a batch of submissions, returning the
+// per-submission accept decisions.
+func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
+	l.lmu.Lock()
+	defer l.lmu.Unlock()
+	p := l.pro
+	f := p.Cfg.Field
+	count := len(subs)
+	if count == 0 {
+		return nil, nil
+	}
+	for _, sub := range subs {
+		if len(sub.Bundles) != p.Cfg.Servers {
+			return nil, errors.New("core: submission bundle count mismatch")
+		}
+	}
+	if err := l.ensureChallenge(count); err != nil {
+		return nil, err
+	}
+	l.sinceCh += count
+	l.batchSeq++
+	batchID := l.batchSeq
+
+	// Round 1: relay each server its bundles.
+	reqs := make([][]byte, p.Cfg.Servers)
+	for i := 0; i < p.Cfg.Servers; i++ {
+		w := &wbuf{}
+		w.u32(l.challID)
+		w.u64(batchID)
+		w.u32(uint32(count))
+		for _, sub := range subs {
+			w.blob(sub.Bundles[i])
+		}
+		reqs[i] = w.b
+	}
+	r1resps, err := l.broadcast(MsgRound1, reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.Cfg.Mode == ModeNoRobust {
+		accepts := make([]bool, count)
+		for i := range accepts {
+			accepts[i] = true
+		}
+		return accepts, nil
+	}
+
+	sys := p.snipSys()
+	reps := sys.Reps
+	if sys.M == 0 {
+		reps = 0
+	}
+
+	// Parse Round1 responses; sum the Beaver openings per submission.
+	opened := make([]*snip.Round1[E], count)
+	var mpcOpened []*mpc.Open[E]
+	var mpcDone bool
+	if p.Cfg.Mode == ModeMPC {
+		mpcOpened = make([]*mpc.Open[E], count)
+	}
+	for i, resp := range r1resps {
+		r := &rbuf{b: resp}
+		for j := 0; j < count; j++ {
+			r1 := &snip.Round1[E]{D: rvec(r, f, reps), E: rvec(r, f, reps)}
+			if r.err != nil {
+				return nil, fmt.Errorf("core: bad Round1 response from server %d", i)
+			}
+			if opened[j] == nil {
+				opened[j] = r1
+			} else {
+				field.AddVec(f, opened[j].D, r1.D)
+				field.AddVec(f, opened[j].E, r1.E)
+			}
+			if p.Cfg.Mode == ModeMPC {
+				n := int(r.u32())
+				op := &mpc.Open[E]{D: rvec(r, f, n), E: rvec(r, f, n)}
+				if r.err != nil {
+					return nil, fmt.Errorf("core: bad MPC open from server %d", i)
+				}
+				if mpcOpened[j] == nil {
+					mpcOpened[j] = op
+				} else {
+					field.AddVec(f, mpcOpened[j].D, op.D)
+					field.AddVec(f, mpcOpened[j].E, op.E)
+				}
+				mpcDone = len(op.D) == 0
+			}
+		}
+		if !r.done() {
+			return nil, fmt.Errorf("core: trailing bytes in Round1 response from server %d", i)
+		}
+	}
+
+	// Round 2: broadcast the opened masks, collect σ/τ shares.
+	w := &wbuf{}
+	w.u32(l.challID)
+	w.u64(batchID)
+	for j := 0; j < count; j++ {
+		wvec(w, f, opened[j].D)
+		wvec(w, f, opened[j].E)
+	}
+	r2resps, err := l.broadcast(MsgRound2, l.same(w.b))
+	if err != nil {
+		return nil, err
+	}
+	r2 := make([][]*snip.Round2[E], count) // [submission][server]
+	for j := range r2 {
+		r2[j] = make([]*snip.Round2[E], p.Cfg.Servers)
+	}
+	for i, resp := range r2resps {
+		r := &rbuf{b: resp}
+		for j := 0; j < count; j++ {
+			sig := rvec(r, f, reps)
+			tau := rvec(r, f, 1)
+			if r.err != nil {
+				return nil, fmt.Errorf("core: bad Round2 response from server %d", i)
+			}
+			r2[j][i] = &snip.Round2[E]{Sigma: sig, Tau: tau[0]}
+		}
+		if !r.done() {
+			return nil, fmt.Errorf("core: trailing bytes in Round2 response from server %d", i)
+		}
+	}
+
+	// MPC rounds: iterate until every session reports its Valid τ share.
+	validTau := make([]E, count)
+	if p.Cfg.Mode == ModeMPC {
+		for j := range validTau {
+			validTau[j] = f.Zero()
+		}
+		for round := 0; !mpcDone; round++ {
+			if round > 64 {
+				return nil, errors.New("core: MPC did not converge")
+			}
+			w := &wbuf{}
+			w.u32(l.challID)
+			w.u64(batchID)
+			for j := 0; j < count; j++ {
+				w.u32(uint32(len(mpcOpened[j].D)))
+				wvec(w, f, mpcOpened[j].D)
+				wvec(w, f, mpcOpened[j].E)
+			}
+			resps, err := l.broadcast(MsgMPCRound, l.same(w.b))
+			if err != nil {
+				return nil, err
+			}
+			next := make([]*mpc.Open[E], count)
+			allDone := true
+			for i, resp := range resps {
+				r := &rbuf{b: resp}
+				for j := 0; j < count; j++ {
+					if done := r.u8(); done == 1 {
+						tau := rvec(r, f, 1)
+						if r.err != nil {
+							return nil, fmt.Errorf("core: bad MPC tau from server %d", i)
+						}
+						validTau[j] = f.Add(validTau[j], tau[0])
+						continue
+					}
+					allDone = false
+					n := int(r.u32())
+					op := &mpc.Open[E]{D: rvec(r, f, n), E: rvec(r, f, n)}
+					if r.err != nil {
+						return nil, fmt.Errorf("core: bad MPC open from server %d", i)
+					}
+					if next[j] == nil {
+						next[j] = op
+					} else {
+						field.AddVec(f, next[j].D, op.D)
+						field.AddVec(f, next[j].E, op.E)
+					}
+				}
+				if !r.done() {
+					return nil, fmt.Errorf("core: trailing bytes in MPC response from server %d", i)
+				}
+			}
+			mpcOpened = next
+			mpcDone = allDone
+		}
+	}
+
+	// Decide and broadcast the accept bitmap.
+	l.Server.mu.Lock()
+	chSt := l.Server.challenges[l.challID]
+	l.Server.mu.Unlock()
+	if chSt == nil {
+		return nil, errors.New("core: leader lost its own challenge state")
+	}
+	accepts := make([]bool, count)
+	bitmap := make([]byte, (count+7)/8)
+	for j := 0; j < count; j++ {
+		ok := chSt.ev.Decide(r2[j])
+		if p.Cfg.Mode == ModeMPC {
+			ok = ok && f.IsZero(validTau[j])
+		}
+		accepts[j] = ok
+		if ok {
+			bitmap[j/8] |= 1 << uint(j%8)
+		}
+	}
+	fw := &wbuf{}
+	fw.u64(batchID)
+	fw.blob(bitmap)
+	if _, err := l.broadcast(MsgFinish, l.same(fw.b)); err != nil {
+		return nil, err
+	}
+	return accepts, nil
+}
+
+// Aggregate fetches every server's accumulator, checks that they agree on
+// the accepted count, and returns the summed aggregate (the input to the
+// AFE's Decode).
+func (l *Leader[Fd, E]) Aggregate() ([]E, uint64, error) {
+	l.lmu.Lock()
+	defer l.lmu.Unlock()
+	p := l.pro
+	f := p.Cfg.Field
+	resps, err := l.broadcast(MsgAggregate, l.same(nil))
+	if err != nil {
+		return nil, 0, err
+	}
+	var agg []E
+	var count uint64
+	for i, resp := range resps {
+		r := &rbuf{b: resp}
+		n := r.u64()
+		vec := rvec(r, f, p.kPrime)
+		if !r.done() {
+			return nil, 0, fmt.Errorf("core: bad aggregate from server %d", i)
+		}
+		if i == 0 {
+			count = n
+			agg = vec
+			continue
+		}
+		if n != count {
+			return nil, 0, fmt.Errorf("core: server %d accepted %d submissions, server 0 accepted %d", i, n, count)
+		}
+		field.AddVec(f, agg, vec)
+	}
+	return agg, count, nil
+}
+
+// Reset clears all servers' accumulators and sessions (benchmark epochs).
+func (l *Leader[Fd, E]) Reset() error {
+	l.lmu.Lock()
+	defer l.lmu.Unlock()
+	_, err := l.broadcast(MsgReset, l.same(nil))
+	return err
+}
+
+// PeerStats exposes the per-server transport counters (Figure 6).
+func (l *Leader[Fd, E]) PeerStats(i int) transport.Stats { return l.peers[i].Stats().Snapshot() }
+
+// Cluster is an in-process deployment: s servers wired to a leader over
+// byte-counting in-memory transports. It is the configuration used by the
+// examples, the integration tests, and the throughput benchmarks.
+type Cluster[Fd field.Field[E], E any] struct {
+	Leader  *Leader[Fd, E]
+	Servers []*Server[Fd, E]
+}
+
+// NewLocalCluster builds the in-process deployment for pro.
+func NewLocalCluster[Fd field.Field[E], E any](pro *Protocol[Fd, E]) (*Cluster[Fd, E], error) {
+	s := pro.Cfg.Servers
+	servers := make([]*Server[Fd, E], s)
+	peers := make([]transport.Peer, s)
+	for i := 0; i < s; i++ {
+		srv, err := NewServer(pro, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+		if i == 0 {
+			peers[i] = &transport.LoopbackPeer{Handler: srv.Handle}
+		} else {
+			peers[i] = transport.NewMemPeer(srv.Handle)
+		}
+	}
+	leader, err := NewLeader(servers[0], peers)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster[Fd, E]{Leader: leader, Servers: servers}, nil
+}
+
+// PublicKeys returns the servers' sealbox keys in index order, as clients
+// need them.
+func (c *Cluster[Fd, E]) PublicKeys() []*sealbox.PublicKey {
+	out := make([]*sealbox.PublicKey, len(c.Servers))
+	for i, s := range c.Servers {
+		out[i] = s.PublicKey()
+	}
+	return out
+}

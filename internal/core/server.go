@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prio/internal/field"
+	"prio/internal/mpc"
+	"prio/internal/sealbox"
+	"prio/internal/snip"
+	"prio/internal/transport"
+)
+
+// Server is one Prio aggregation server: it verifies its share of each
+// submission and maintains the local accumulator of Section 3. Servers are
+// driven entirely through Handle, which implements the wire protocol, so the
+// same code runs in-process (benchmarks, examples) and behind TCP/TLS
+// (cmd/prio-server).
+type Server[Fd field.Field[E], E any] struct {
+	pro  *Protocol[Fd, E]
+	idx  int
+	priv *sealbox.PrivateKey
+	pub  *sealbox.PublicKey
+
+	mu         sync.Mutex
+	challenges map[uint32]*challState[Fd, E]
+	lastChall  uint32
+	batches    map[uint64]*batchState[Fd, E]
+	acc        []E
+	accCount   uint64
+}
+
+// challState caches the per-challenge verification engine.
+type challState[Fd field.Field[E], E any] struct {
+	ch *challenge[E]
+	ev *snip.Evaluator[Fd, E]
+}
+
+// batchState holds per-batch verification sessions between rounds.
+type batchState[Fd field.Field[E], E any] struct {
+	count     int
+	xShares   [][]E
+	snipSt    []*snip.State[E]
+	mpcSess   []*mpc.Session[Fd, E]
+	validTaus []E // MPC: shares of the Valid assertion combination
+}
+
+// NewServer constructs server idx of the deployment. A fresh sealbox key
+// pair is generated when priv is nil.
+func NewServer[Fd field.Field[E], E any](pro *Protocol[Fd, E], idx int, priv *sealbox.PrivateKey) (*Server[Fd, E], error) {
+	if idx < 0 || idx >= pro.Cfg.Servers {
+		return nil, fmt.Errorf("core: server index %d out of range", idx)
+	}
+	if priv == nil {
+		var err error
+		_, priv, err = sealbox.GenerateKey()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server[Fd, E]{
+		pro:        pro,
+		idx:        idx,
+		priv:       priv,
+		pub:        priv.Public(),
+		challenges: make(map[uint32]*challState[Fd, E]),
+		batches:    make(map[uint64]*batchState[Fd, E]),
+	}
+	s.resetLocked()
+	return s, nil
+}
+
+// PublicKey returns the server's sealbox key for clients.
+func (s *Server[Fd, E]) PublicKey() *sealbox.PublicKey { return s.pub }
+
+// Index returns the server's position in the deployment.
+func (s *Server[Fd, E]) Index() int { return s.idx }
+
+// Handle implements transport.Handler.
+func (s *Server[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
+	switch msgType {
+	case MsgSetChallenge:
+		return s.handleSetChallenge(payload)
+	case MsgRound1:
+		return s.handleRound1(payload)
+	case MsgRound2:
+		return s.handleRound2(payload)
+	case MsgMPCRound:
+		return s.handleMPCRound(payload)
+	case MsgFinish:
+		return s.handleFinish(payload)
+	case MsgAggregate:
+		return s.handleAggregate()
+	case MsgReset:
+		s.mu.Lock()
+		s.resetLocked()
+		s.mu.Unlock()
+		return nil, nil
+	case MsgPublicKey:
+		return s.pub.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("core: server %d: unknown message type %d", s.idx, msgType)
+	}
+}
+
+// Handler returns s.Handle as a transport.Handler.
+func (s *Server[Fd, E]) Handler() transport.Handler { return s.Handle }
+
+func (s *Server[Fd, E]) resetLocked() {
+	acc := make([]E, s.pro.kPrime)
+	f := s.pro.Cfg.Field
+	for i := range acc {
+		acc[i] = f.Zero()
+	}
+	s.acc = acc
+	s.accCount = 0
+	s.batches = make(map[uint64]*batchState[Fd, E])
+}
+
+func (s *Server[Fd, E]) handleSetChallenge(payload []byte) ([]byte, error) {
+	r := &rbuf{b: payload}
+	id := r.u32()
+	if r.err != nil {
+		return nil, errTruncated
+	}
+	ch, err := s.pro.unmarshalChallenge(r.b[r.off:])
+	if err != nil {
+		return nil, err
+	}
+	st := &challState[Fd, E]{ch: ch}
+	if sys := s.pro.snipSys(); sys != nil {
+		st.ev = sys.NewEvaluator(ch.sn)
+	}
+	s.mu.Lock()
+	s.challenges[id] = st
+	delete(s.challenges, s.lastChall-1) // keep a window of two
+	s.lastChall = id
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// handleRound1 ingests a batch of bundles. In SNIP/MPC modes it returns the
+// servers' Round1 shares (and, for MPC, the first openings); in no-robust
+// mode it accumulates immediately and returns nothing.
+func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
+	p := s.pro
+	f := p.Cfg.Field
+	r := &rbuf{b: payload}
+	challID := r.u32()
+	batchID := r.u64()
+	count := int(r.u32())
+	if r.err != nil || count < 0 || count > 1<<20 {
+		return nil, errTruncated
+	}
+
+	s.mu.Lock()
+	chSt := s.challenges[challID]
+	s.mu.Unlock()
+	if p.Cfg.Mode != ModeNoRobust && chSt == nil {
+		return nil, fmt.Errorf("core: server %d: unknown challenge %d", s.idx, challID)
+	}
+
+	bs := &batchState[Fd, E]{count: count}
+	w := &wbuf{}
+	constServer := s.idx == 0
+	for j := 0; j < count; j++ {
+		bundle := r.blob()
+		if r.err != nil {
+			return nil, errTruncated
+		}
+		flat, err := p.decodeBundle(bundle, s.priv)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: bundle %d: %w", s.idx, j, err)
+		}
+		x, triples, proofFlat, err := p.splitFlat(flat)
+		if err != nil {
+			return nil, err
+		}
+		bs.xShares = append(bs.xShares, x)
+
+		switch p.Cfg.Mode {
+		case ModeNoRobust:
+			// Accumulate unconditionally; no verification exists.
+		case ModeSNIP:
+			pf, err := p.ValidSys.UnflattenProof(proofFlat)
+			if err != nil {
+				return nil, err
+			}
+			st, r1, err := chSt.ev.Round1(x, pf, constServer)
+			if err != nil {
+				return nil, err
+			}
+			bs.snipSt = append(bs.snipSt, st)
+			wvec(w, f, r1.D)
+			wvec(w, f, r1.E)
+		case ModeMPC:
+			pf, err := p.TripleSys.UnflattenProof(proofFlat)
+			if err != nil {
+				return nil, err
+			}
+			st, r1, err := chSt.ev.Round1(triples, pf, constServer)
+			if err != nil {
+				return nil, err
+			}
+			bs.snipSt = append(bs.snipSt, st)
+			wvec(w, f, r1.D)
+			wvec(w, f, r1.E)
+			sess, err := mpc.NewSession(f, p.Cfg.Scheme.Circuit(), p.Cfg.Servers, x, triples, constServer)
+			if err != nil {
+				return nil, err
+			}
+			open, done := sess.Start()
+			bs.mpcSess = append(bs.mpcSess, sess)
+			if done {
+				w.u32(0)
+			} else {
+				w.u32(uint32(len(open.D)))
+				wvec(w, f, open.D)
+				wvec(w, f, open.E)
+			}
+		}
+	}
+	if !r.done() {
+		return nil, errTruncated
+	}
+
+	s.mu.Lock()
+	if p.Cfg.Mode == ModeNoRobust {
+		for _, x := range bs.xShares {
+			field.AddVec(f, s.acc, x[:p.kPrime])
+		}
+		s.accCount += uint64(count)
+	} else {
+		s.batches[batchID] = bs
+	}
+	s.mu.Unlock()
+	return w.b, nil
+}
+
+// handleRound2 consumes the opened SNIP masks and returns Round2 shares.
+func (s *Server[Fd, E]) handleRound2(payload []byte) ([]byte, error) {
+	p := s.pro
+	f := p.Cfg.Field
+	sys := p.snipSys()
+	if sys == nil {
+		return nil, errors.New("core: Round2 in no-robust mode")
+	}
+	r := &rbuf{b: payload}
+	challID := r.u32()
+	batchID := r.u64()
+	s.mu.Lock()
+	chSt := s.challenges[challID]
+	bs := s.batches[batchID]
+	s.mu.Unlock()
+	if chSt == nil || bs == nil {
+		return nil, fmt.Errorf("core: server %d: unknown batch %d", s.idx, batchID)
+	}
+	reps := sys.Reps
+	if sys.M == 0 {
+		reps = 0
+	}
+	w := &wbuf{}
+	for j := 0; j < bs.count; j++ {
+		opened := &snip.Round1[E]{D: rvec(r, f, reps), E: rvec(r, f, reps)}
+		if r.err != nil {
+			return nil, errTruncated
+		}
+		r2 := chSt.ev.Round2(bs.snipSt[j], opened, p.Cfg.Servers)
+		wvec(w, f, r2.Sigma)
+		wvec(w, f, []E{r2.Tau})
+	}
+	if !r.done() {
+		return nil, errTruncated
+	}
+	return w.b, nil
+}
+
+// handleMPCRound advances the cooperative Valid evaluation by one round
+// (ModeMPC only). The response carries, per submission, either the next
+// openings or — once evaluation finishes — the Valid assertion share.
+func (s *Server[Fd, E]) handleMPCRound(payload []byte) ([]byte, error) {
+	p := s.pro
+	f := p.Cfg.Field
+	if p.Cfg.Mode != ModeMPC {
+		return nil, errors.New("core: MPCRound outside MPC mode")
+	}
+	r := &rbuf{b: payload}
+	challID := r.u32()
+	batchID := r.u64()
+	s.mu.Lock()
+	chSt := s.challenges[challID]
+	bs := s.batches[batchID]
+	s.mu.Unlock()
+	if chSt == nil || bs == nil {
+		return nil, fmt.Errorf("core: server %d: unknown batch %d", s.idx, batchID)
+	}
+	if bs.validTaus == nil {
+		bs.validTaus = make([]E, bs.count)
+	}
+	w := &wbuf{}
+	for j := 0; j < bs.count; j++ {
+		n := int(r.u32())
+		if r.err != nil {
+			return nil, errTruncated
+		}
+		opened := &mpc.Open[E]{D: rvec(r, f, n), E: rvec(r, f, n)}
+		if r.err != nil {
+			return nil, errTruncated
+		}
+		sess := bs.mpcSess[j]
+		next, done, err := sess.Step(opened)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			tau, err := sess.TauShare(chSt.ch.validRho)
+			if err != nil {
+				return nil, err
+			}
+			bs.validTaus[j] = tau
+			w.u8(1)
+			wvec(w, f, []E{tau})
+		} else {
+			w.u8(0)
+			w.u32(uint32(len(next.D)))
+			wvec(w, f, next.D)
+			wvec(w, f, next.E)
+		}
+	}
+	if !r.done() {
+		return nil, errTruncated
+	}
+	return w.b, nil
+}
+
+// handleFinish applies the leader's accept decisions: accepted submissions'
+// truncated shares enter the accumulator, and the batch state is dropped.
+func (s *Server[Fd, E]) handleFinish(payload []byte) ([]byte, error) {
+	p := s.pro
+	f := p.Cfg.Field
+	r := &rbuf{b: payload}
+	batchID := r.u64()
+	bitmap := r.blob()
+	if r.err != nil {
+		return nil, errTruncated
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs := s.batches[batchID]
+	if bs == nil {
+		return nil, fmt.Errorf("core: server %d: finish for unknown batch %d", s.idx, batchID)
+	}
+	delete(s.batches, batchID)
+	if len(bitmap) != (bs.count+7)/8 {
+		return nil, errTruncated
+	}
+	for j := 0; j < bs.count; j++ {
+		if bitmap[j/8]&(1<<uint(j%8)) == 0 {
+			continue
+		}
+		field.AddVec(f, s.acc, bs.xShares[j][:p.kPrime])
+		s.accCount++
+	}
+	return nil, nil
+}
+
+// handleAggregate publishes the accumulator (Section 3, step "Publish").
+func (s *Server[Fd, E]) handleAggregate() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := &wbuf{}
+	w.u64(s.accCount)
+	wvec(w, s.pro.Cfg.Field, s.acc)
+	return w.b, nil
+}
+
+// AddNoise lets a deployment add differential-privacy noise shares to the
+// local accumulator before publishing (Section 7): each server adds its own
+// share so no single server ever sees the un-noised total.
+func (s *Server[Fd, E]) AddNoise(noise []E) error {
+	if len(noise) != s.pro.kPrime {
+		return errors.New("core: noise vector length mismatch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	field.AddVec(s.pro.Cfg.Field, s.acc, noise)
+	return nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"prio/internal/field"
+)
+
+// Message types of the server-to-server (and client-to-leader) protocol.
+const (
+	MsgSetChallenge byte = 1 // leader -> servers: new verification challenge
+	MsgRound1       byte = 2 // leader -> servers: batch of bundles; reply: Round1 shares
+	MsgRound2       byte = 3 // leader -> servers: opened masks; reply: Round2 shares
+	MsgMPCRound     byte = 4 // leader -> servers: opened MPC masks; reply: next masks or tau
+	MsgFinish       byte = 5 // leader -> servers: accept bitmap; servers accumulate
+	MsgAggregate    byte = 6 // anyone -> server: fetch accumulator
+	MsgReset        byte = 7 // leader -> servers: clear accumulator and sessions
+	MsgPublicKey    byte = 8 // anyone -> server: fetch sealbox public key
+	MsgSubmit       byte = 9 // client -> leader: enqueue one submission
+)
+
+// errTruncated reports malformed wire input.
+var errTruncated = errors.New("core: truncated or malformed message")
+
+// wbuf is an append-only message writer.
+type wbuf struct {
+	b []byte
+}
+
+func (w *wbuf) u8(v byte)     { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) raw(b []byte)  { w.b = append(w.b, b...) }
+func (w *wbuf) blob(b []byte) { w.u32(uint32(len(b))); w.raw(b) }
+
+// vec appends n field elements without a length prefix (the reader knows n
+// from protocol context).
+func wvec[Fd field.Field[E], E any](w *wbuf, f Fd, v []E) {
+	w.b = field.AppendVec(f, w.b, v)
+}
+
+// rbuf is a cursor-based message reader; the first failure sticks.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() { r.err = errTruncated }
+
+func (r *rbuf) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) blob() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// rvec reads n field elements.
+func rvec[Fd field.Field[E], E any](r *rbuf, f Fd, n int) []E {
+	if r.err != nil {
+		return nil
+	}
+	v, used, err := field.ReadVec(f, r.b[r.off:], n)
+	if err != nil {
+		r.fail()
+		return nil
+	}
+	r.off += used
+	return v
+}
+
+// done reports whether the buffer was fully and cleanly consumed.
+func (r *rbuf) done() bool { return r.err == nil && r.off == len(r.b) }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"prio/internal/afe"
+	"prio/internal/field"
+)
+
+// Wire-format tests: the hand-rolled binary codec must round-trip exactly
+// and reject every malformed prefix.
+
+func TestWbufRbufRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	w := &wbuf{}
+	w.u8(7)
+	w.u32(0xDEADBEEF)
+	w.u64(1 << 60)
+	w.blob([]byte("hello"))
+	w.blob(nil)
+	wvec(w, f, []uint64{1, 2, field.ModulusF64 - 1})
+
+	r := &rbuf{b: w.b}
+	if got := r.u8(); got != 7 {
+		t.Errorf("u8 = %d", got)
+	}
+	if got := r.u32(); got != 0xDEADBEEF {
+		t.Errorf("u32 = %x", got)
+	}
+	if got := r.u64(); got != 1<<60 {
+		t.Errorf("u64 = %x", got)
+	}
+	if got := r.blob(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("blob = %q", got)
+	}
+	if got := r.blob(); len(got) != 0 {
+		t.Errorf("empty blob = %q", got)
+	}
+	vec := rvec(r, f, 3)
+	if !field.EqualVec(f, vec, []uint64{1, 2, field.ModulusF64 - 1}) {
+		t.Errorf("vec = %v", vec)
+	}
+	if !r.done() {
+		t.Error("reader not fully consumed")
+	}
+}
+
+func TestRbufTruncationSticks(t *testing.T) {
+	r := &rbuf{b: []byte{1, 2}}
+	_ = r.u32() // fails: only 2 bytes
+	if r.err == nil {
+		t.Fatal("u32 on short buffer did not fail")
+	}
+	// Every subsequent read stays failed and returns zero values.
+	if r.u8() != 0 || r.u64() != 0 || r.blob() != nil {
+		t.Error("reads after failure returned data")
+	}
+	if r.done() {
+		t.Error("failed reader reports done")
+	}
+}
+
+func TestRbufBlobOverrun(t *testing.T) {
+	w := &wbuf{}
+	w.u32(100) // claims 100 bytes
+	w.raw([]byte{1, 2, 3})
+	r := &rbuf{b: w.b}
+	if got := r.blob(); got != nil || r.err == nil {
+		t.Error("blob overrun not detected")
+	}
+}
+
+func TestRvecRejectsNonCanonical(t *testing.T) {
+	f := field.NewF64()
+	w := &wbuf{}
+	for i := 0; i < 8; i++ {
+		w.u8(0xFF) // 2^64-1 ≥ p: invalid element
+	}
+	r := &rbuf{b: w.b}
+	if got := rvec(r, f, 1); got != nil || r.err == nil {
+		t.Error("non-canonical element accepted by rvec")
+	}
+}
+
+func TestChallengeMarshalRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	for _, mode := range []Mode{ModeSNIP, ModeMPC} {
+		pro, err := NewProtocol(Config[field.F64, uint64]{
+			Field:    f,
+			Scheme:   afe.NewSum(f, 6),
+			Servers:  2,
+			Mode:     mode,
+			SnipReps: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := pro.newChallenge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := pro.marshalChallenge(ch)
+		back, err := pro.unmarshalChallenge(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !field.EqualVec(f, back.sn.R, ch.sn.R) || !field.EqualVec(f, back.sn.Rho, ch.sn.Rho) {
+			t.Errorf("%v: SNIP challenge round trip mismatch", mode)
+		}
+		if mode == ModeMPC && !field.EqualVec(f, back.validRho, ch.validRho) {
+			t.Errorf("MPC validRho round trip mismatch")
+		}
+		// Truncated and padded encodings must be rejected.
+		if _, err := pro.unmarshalChallenge(enc[:len(enc)-1]); err == nil {
+			t.Errorf("%v: truncated challenge accepted", mode)
+		}
+		if _, err := pro.unmarshalChallenge(append(append([]byte(nil), enc...), 0)); err == nil {
+			t.Errorf("%v: padded challenge accepted", mode)
+		}
+	}
+}
+
+func TestFlatLenByMode(t *testing.T) {
+	f := field.NewF64()
+	scheme := afe.NewSum(f, 6) // K=7, M=6
+	lens := map[Mode]int{}
+	for _, mode := range []Mode{ModeNoRobust, ModeSNIP, ModeMPC} {
+		pro, err := NewProtocol(Config[field.F64, uint64]{
+			Field: f, Scheme: scheme, Servers: 2, Mode: mode, SnipReps: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens[mode] = pro.FlatLen()
+	}
+	if lens[ModeNoRobust] != scheme.K() {
+		t.Errorf("no-robust flat len = %d, want %d", lens[ModeNoRobust], scheme.K())
+	}
+	if lens[ModeSNIP] <= lens[ModeNoRobust] {
+		t.Error("SNIP flat len should exceed bare encoding")
+	}
+	if lens[ModeMPC] <= lens[ModeNoRobust] {
+		t.Error("MPC flat len should exceed bare encoding")
+	}
+}

@@ -1,0 +1,97 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"prio/internal/field"
+)
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Epsilon: 0, Sensitivity: 1},
+		{Epsilon: -1, Sensitivity: 1},
+		{Epsilon: math.Inf(1), Sensitivity: 1},
+		{Epsilon: 1, Sensitivity: 0},
+	}
+	for i, p := range bad {
+		if p.Valid() == nil {
+			t.Errorf("params %d accepted", i)
+		}
+		if _, err := SampleDiscreteLaplace(nil, p); err == nil {
+			t.Errorf("sample with bad params %d succeeded", i)
+		}
+	}
+	if (Params{Epsilon: 0.5, Sensitivity: 1}).Valid() != nil {
+		t.Error("good params rejected")
+	}
+}
+
+func TestNoiseDistributionShape(t *testing.T) {
+	p := Params{Epsilon: 1, Sensitivity: 1}
+	const n = 20000
+	var sum, sumAbs float64
+	zero := 0
+	for i := 0; i < n; i++ {
+		z, err := SampleDiscreteLaplace(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(z)
+		sumAbs += math.Abs(float64(z))
+		if z == 0 {
+			zero++
+		}
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("noise mean = %v, want ≈0", mean)
+	}
+	// For two-sided geometric with α=e^-1: E|Z| = 2α/(1-α²) ≈ 0.85.
+	eAbs := sumAbs / n
+	if eAbs < 0.6 || eAbs > 1.1 {
+		t.Errorf("E|Z| = %v, want ≈0.85", eAbs)
+	}
+	// Pr[Z=0] = (1-α)/(1+α) ≈ 0.462.
+	p0 := float64(zero) / n
+	if p0 < 0.40 || p0 < 0.0 || p0 > 0.53 {
+		t.Errorf("Pr[Z=0] = %v, want ≈0.46", p0)
+	}
+}
+
+func TestSmallerEpsilonMeansMoreNoise(t *testing.T) {
+	const n = 5000
+	absFor := func(eps float64) float64 {
+		var sumAbs float64
+		for i := 0; i < n; i++ {
+			z, err := SampleDiscreteLaplace(nil, Params{Epsilon: eps, Sensitivity: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumAbs += math.Abs(float64(z))
+		}
+		return sumAbs / n
+	}
+	if absFor(0.1) <= absFor(2.0) {
+		t.Error("noise did not grow as epsilon shrank")
+	}
+}
+
+func TestNoiseVector(t *testing.T) {
+	f := field.NewF64()
+	vec, err := NoiseVector(f, nil, 16, Params{Epsilon: 1, Sensitivity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 16 {
+		t.Fatalf("len = %d", len(vec))
+	}
+	// Noise must be "small" in the signed sense: either < 2^32 or within
+	// 2^32 of p (negative values wrap).
+	for _, v := range vec {
+		neg := field.ModulusF64 - v
+		if v > 1<<32 && neg > 1<<32 {
+			t.Errorf("implausibly large noise value %d", v)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package field
+
+import (
+	"encoding/binary"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// ModulusF128Decimal is the 128-bit FFT-friendly prime
+//
+//	p = 2^66 * (2^62 - 7) + 1
+//
+// whose multiplicative group has two-adicity 66. It is the same modulus used
+// by the libprio family for 128-bit-soundness Prio deployments; the paper
+// recommends |F| ~ 2^128 so that a single Schwartz-Zippel identity test has
+// negligible failure probability (Section 4.3).
+const ModulusF128Decimal = "340282366920938462946865773367900766209"
+
+// rootF128Decimal is a primitive 2^66-th root of unity modulo the F128
+// modulus (computed as g^((p-1)/2^66) for a verified non-residue g).
+const rootF128Decimal = "145091266659756586618791329697897684742"
+
+// U128 is an element of F128 in Montgomery form (value * 2^128 mod p),
+// stored as two little-endian 64-bit limbs.
+type U128 struct {
+	Lo, Hi uint64
+}
+
+// f128Consts holds the precomputed Montgomery constants, built once at
+// package initialization from the decimal modulus string.
+type f128Consts struct {
+	p0, p1   uint64 // modulus limbs
+	inv      uint64 // -p^{-1} mod 2^64
+	one      U128   // 2^128 mod p (Montgomery form of 1)
+	r2       U128   // 2^256 mod p (for conversion into Montgomery form)
+	rootMont U128   // primitive 2^66 root of unity, Montgomery form
+	pBig     *big.Int
+}
+
+var f128c = initF128()
+
+func initF128() f128Consts {
+	p, ok := new(big.Int).SetString(ModulusF128Decimal, 10)
+	if !ok {
+		panic("field: bad F128 modulus")
+	}
+	var c f128Consts
+	c.pBig = p
+	c.p0 = p.Uint64()
+	c.p1 = new(big.Int).Rsh(p, 64).Uint64()
+
+	r := new(big.Int).Lsh(big.NewInt(1), 64) // 2^64
+	pinv := new(big.Int).ModInverse(p, r)
+	// inv = -p^{-1} mod 2^64
+	c.inv = -pinv.Uint64()
+
+	toU128 := func(v *big.Int) U128 {
+		m := new(big.Int).Mod(v, p)
+		return U128{Lo: m.Uint64(), Hi: new(big.Int).Rsh(m, 64).Uint64()}
+	}
+	c.one = toU128(new(big.Int).Lsh(big.NewInt(1), 128))
+	c.r2 = toU128(new(big.Int).Lsh(big.NewInt(1), 256))
+
+	root, ok := new(big.Int).SetString(rootF128Decimal, 10)
+	if !ok {
+		panic("field: bad F128 root")
+	}
+	// Convert the canonical root into Montgomery form: root * 2^128 mod p.
+	c.rootMont = toU128(new(big.Int).Lsh(root, 128))
+	return c
+}
+
+// F128 is the 128-bit FFT-friendly field. The zero value is ready to use.
+type F128 struct{}
+
+// NewF128 returns the F128 field instance.
+func NewF128() F128 { return F128{} }
+
+// Name implements Field.
+func (F128) Name() string { return "F128" }
+
+// Bits implements Field.
+func (F128) Bits() int { return 128 }
+
+// ElemSize implements Field.
+func (F128) ElemSize() int { return 16 }
+
+// Modulus implements Field.
+func (F128) Modulus() *big.Int { return new(big.Int).Set(f128c.pBig) }
+
+// Zero implements Field.
+func (F128) Zero() U128 { return U128{} }
+
+// One implements Field.
+func (F128) One() U128 { return f128c.one }
+
+// madd64 computes x + y*z + c, returning (carry-word, low-word).
+func madd64(x, y, z, c uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(y, z)
+	var cc uint64
+	lo, cc = bits.Add64(lo, x, 0)
+	hi += cc
+	lo, cc = bits.Add64(lo, c, 0)
+	hi += cc
+	return
+}
+
+// montMul returns a*b*2^-128 mod p (CIOS Montgomery multiplication for two
+// limbs, following Koç-Acar-Kaliski).
+func montMul(a, b U128) U128 {
+	var t0, t1, t2, t3 uint64
+	aw := [2]uint64{a.Lo, a.Hi}
+	for i := 0; i < 2; i++ {
+		ai := aw[i]
+		// t += ai * b
+		var C uint64
+		C, t0 = madd64(t0, ai, b.Lo, 0)
+		C, t1 = madd64(t1, ai, b.Hi, C)
+		var c uint64
+		t2, c = bits.Add64(t2, C, 0)
+		t3 += c
+		// Montgomery reduction step: t += m*p; t >>= 64.
+		m := t0 * f128c.inv
+		C, _ = madd64(t0, m, f128c.p0, 0)
+		C, t0 = madd64(t1, m, f128c.p1, C)
+		t1, c = bits.Add64(t2, C, 0)
+		t2 = t3 + c
+		t3 = 0
+	}
+	// Result is t2*2^128 + t1*2^64 + t0 < 2p: one conditional subtraction.
+	if t2 != 0 || u128GTE(t1, t0, f128c.p1, f128c.p0) {
+		var b uint64
+		t0, b = bits.Sub64(t0, f128c.p0, 0)
+		t1, _ = bits.Sub64(t1, f128c.p1, b)
+	}
+	return U128{Lo: t0, Hi: t1}
+}
+
+// u128GTE reports whether (aHi,aLo) >= (bHi,bLo).
+func u128GTE(aHi, aLo, bHi, bLo uint64) bool {
+	if aHi != bHi {
+		return aHi > bHi
+	}
+	return aLo >= bLo
+}
+
+// toMont converts a canonical residue into Montgomery form.
+func toMont(a U128) U128 { return montMul(a, f128c.r2) }
+
+// fromMont converts a Montgomery-form element to its canonical residue.
+func fromMont(a U128) U128 { return montMul(a, U128{Lo: 1}) }
+
+// FromUint64 implements Field.
+func (F128) FromUint64(v uint64) U128 { return toMont(U128{Lo: v}) }
+
+// FromInt64 implements Field.
+func (f F128) FromInt64(v int64) U128 {
+	if v >= 0 {
+		return f.FromUint64(uint64(v))
+	}
+	return f.Neg(f.FromUint64(uint64(-v)))
+}
+
+// FromBig implements Field.
+func (F128) FromBig(v *big.Int) U128 {
+	m := new(big.Int).Mod(v, f128c.pBig)
+	return toMont(U128{Lo: m.Uint64(), Hi: new(big.Int).Rsh(m, 64).Uint64()})
+}
+
+// ToBig implements Field.
+func (F128) ToBig(a U128) *big.Int {
+	c := fromMont(a)
+	v := new(big.Int).SetUint64(c.Hi)
+	v.Lsh(v, 64)
+	return v.Or(v, new(big.Int).SetUint64(c.Lo))
+}
+
+// ToUint64 implements Field.
+func (F128) ToUint64(a U128) (uint64, bool) {
+	c := fromMont(a)
+	return c.Lo, c.Hi == 0
+}
+
+// Add implements Field.
+func (F128) Add(a, b U128) U128 {
+	lo, c := bits.Add64(a.Lo, b.Lo, 0)
+	hi, c2 := bits.Add64(a.Hi, b.Hi, c)
+	if c2 != 0 || u128GTE(hi, lo, f128c.p1, f128c.p0) {
+		var br uint64
+		lo, br = bits.Sub64(lo, f128c.p0, 0)
+		hi, _ = bits.Sub64(hi, f128c.p1, br)
+	}
+	return U128{Lo: lo, Hi: hi}
+}
+
+// Sub implements Field.
+func (F128) Sub(a, b U128) U128 {
+	lo, br := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, br2 := bits.Sub64(a.Hi, b.Hi, br)
+	if br2 != 0 {
+		var c uint64
+		lo, c = bits.Add64(lo, f128c.p0, 0)
+		hi, _ = bits.Add64(hi, f128c.p1, c)
+	}
+	return U128{Lo: lo, Hi: hi}
+}
+
+// Neg implements Field.
+func (F128) Neg(a U128) U128 {
+	if a.Lo == 0 && a.Hi == 0 {
+		return a
+	}
+	lo, br := bits.Sub64(f128c.p0, a.Lo, 0)
+	hi, _ := bits.Sub64(f128c.p1, a.Hi, br)
+	return U128{Lo: lo, Hi: hi}
+}
+
+// Mul implements Field.
+func (F128) Mul(a, b U128) U128 { return montMul(a, b) }
+
+// Inv implements Field (Fermat: a^(p-2)), returning zero for zero input.
+func (f F128) Inv(a U128) U128 {
+	if a.Lo == 0 && a.Hi == 0 {
+		return a
+	}
+	// exponent e = p - 2, little-endian limbs
+	var e0, e1 uint64
+	{
+		var br uint64
+		e0, br = bits.Sub64(f128c.p0, 2, 0)
+		e1, _ = bits.Sub64(f128c.p1, 0, br)
+	}
+	r := f.One()
+	base := a
+	for i := 0; i < 64; i++ {
+		if (e0>>uint(i))&1 == 1 {
+			r = montMul(r, base)
+		}
+		base = montMul(base, base)
+	}
+	for i := 0; i < 64; i++ {
+		if (e1>>uint(i))&1 == 1 {
+			r = montMul(r, base)
+		}
+		base = montMul(base, base)
+	}
+	return r
+}
+
+// Equal implements Field. Montgomery representation is canonical (< p), so
+// limb equality suffices.
+func (F128) Equal(a, b U128) bool { return a == b }
+
+// IsZero implements Field.
+func (F128) IsZero(a U128) bool { return a.Lo == 0 && a.Hi == 0 }
+
+// AppendElem implements Field (16-byte little-endian canonical residue).
+func (F128) AppendElem(dst []byte, a U128) []byte {
+	c := fromMont(a)
+	dst = binary.LittleEndian.AppendUint64(dst, c.Lo)
+	return binary.LittleEndian.AppendUint64(dst, c.Hi)
+}
+
+// ReadElem implements Field.
+func (F128) ReadElem(src []byte) (U128, error) {
+	if len(src) < 16 {
+		return U128{}, ErrShortBuffer
+	}
+	lo := binary.LittleEndian.Uint64(src)
+	hi := binary.LittleEndian.Uint64(src[8:])
+	if u128GTE(hi, lo, f128c.p1, f128c.p0) {
+		return U128{}, ErrNonCanonical
+	}
+	return toMont(U128{Lo: lo, Hi: hi}), nil
+}
+
+// SampleElem implements Field by rejection sampling 16-byte draws.
+func (F128) SampleElem(r io.Reader) (U128, error) {
+	var buf [16]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return U128{}, err
+		}
+		lo := binary.LittleEndian.Uint64(buf[:8])
+		hi := binary.LittleEndian.Uint64(buf[8:])
+		if !u128GTE(hi, lo, f128c.p1, f128c.p0) {
+			return toMont(U128{Lo: lo, Hi: hi}), nil
+		}
+	}
+}
+
+// TwoAdicity implements Field.
+func (F128) TwoAdicity() int { return 66 }
+
+// RootOfUnity implements Field.
+func (f F128) RootOfUnity(logN int) U128 {
+	if logN < 0 || logN > 66 {
+		panic("field: F128 root of unity order out of range")
+	}
+	r := f128c.rootMont
+	for i := 66; i > logN; i-- {
+		r = montMul(r, r)
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+package field
+
+import (
+	"io"
+	"math/big"
+)
+
+// F2 is the two-element field GF(2). Addition is XOR and multiplication is
+// AND. The boolean OR/AND encodings of Section 5.2 work over F_2^λ; the afe
+// package uses a packed-bitset representation for those on the hot path, but
+// F2 keeps the generic machinery honest at the smallest possible field and
+// backs the reference implementations.
+type F2 struct{}
+
+// NewF2 returns the GF(2) field instance.
+func NewF2() F2 { return F2{} }
+
+// Name implements Field.
+func (F2) Name() string { return "F2" }
+
+// Bits implements Field.
+func (F2) Bits() int { return 1 }
+
+// ElemSize implements Field.
+func (F2) ElemSize() int { return 1 }
+
+// Modulus implements Field.
+func (F2) Modulus() *big.Int { return big.NewInt(2) }
+
+// Zero implements Field.
+func (F2) Zero() uint8 { return 0 }
+
+// One implements Field.
+func (F2) One() uint8 { return 1 }
+
+// FromUint64 implements Field.
+func (F2) FromUint64(v uint64) uint8 { return uint8(v & 1) }
+
+// FromInt64 implements Field.
+func (F2) FromInt64(v int64) uint8 { return uint8(uint64(v) & 1) }
+
+// FromBig implements Field.
+func (F2) FromBig(v *big.Int) uint8 { return uint8(v.Bit(0)) }
+
+// ToBig implements Field.
+func (F2) ToBig(a uint8) *big.Int { return big.NewInt(int64(a & 1)) }
+
+// ToUint64 implements Field.
+func (F2) ToUint64(a uint8) (uint64, bool) { return uint64(a & 1), true }
+
+// Add implements Field (XOR).
+func (F2) Add(a, b uint8) uint8 { return (a ^ b) & 1 }
+
+// Sub implements Field (XOR; characteristic two).
+func (F2) Sub(a, b uint8) uint8 { return (a ^ b) & 1 }
+
+// Neg implements Field (identity; characteristic two).
+func (F2) Neg(a uint8) uint8 { return a & 1 }
+
+// Mul implements Field (AND).
+func (F2) Mul(a, b uint8) uint8 { return a & b & 1 }
+
+// Inv implements Field: Inv(1) = 1, Inv(0) = 0.
+func (F2) Inv(a uint8) uint8 { return a & 1 }
+
+// Equal implements Field.
+func (F2) Equal(a, b uint8) bool { return a&1 == b&1 }
+
+// IsZero implements Field.
+func (F2) IsZero(a uint8) bool { return a&1 == 0 }
+
+// AppendElem implements Field.
+func (F2) AppendElem(dst []byte, a uint8) []byte { return append(dst, a&1) }
+
+// ReadElem implements Field.
+func (F2) ReadElem(src []byte) (uint8, error) {
+	if len(src) < 1 {
+		return 0, ErrShortBuffer
+	}
+	if src[0] > 1 {
+		return 0, ErrNonCanonical
+	}
+	return src[0], nil
+}
+
+// SampleElem implements Field.
+func (F2) SampleElem(r io.Reader) (uint8, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0] & 1, nil
+}
+
+// TwoAdicity implements Field: 2-1 = 1 has no factors of two.
+func (F2) TwoAdicity() int { return 0 }
+
+// RootOfUnity implements Field; only the trivial root exists.
+func (F2) RootOfUnity(logN int) uint8 {
+	if logN != 0 {
+		panic("field: F2 has no non-trivial roots of unity")
+	}
+	return 1
+}

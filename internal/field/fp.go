@@ -1,0 +1,202 @@
+package field
+
+import (
+	"io"
+	"math/big"
+)
+
+// FP is an arbitrary-prime field backed by math/big. It is the reference
+// implementation used to cross-check the specialized fields, and it realizes
+// the exact field sizes of the paper's evaluation (an 87-bit and a 265-bit
+// FFT-friendly prime; see Table 3).
+//
+// FP elements are *big.Int values in [0, p) and are treated as immutable:
+// no FP method mutates an element that it did not itself allocate.
+type FP struct {
+	p        *big.Int
+	bits     int
+	elemSize int
+	adicity  int
+	root     *big.Int // primitive 2^adicity-th root of unity
+	name     string
+}
+
+// NewFP constructs the field of integers modulo the odd prime p. It derives
+// the two-adicity of p-1 and locates a maximal-order power-of-two root of
+// unity by exponentiating small candidates. NewFP panics if p is not prime
+// (probabilistically checked); use it for trusted, baked-in parameters.
+func NewFP(name string, p *big.Int) *FP {
+	if !p.ProbablyPrime(32) {
+		panic("field: NewFP modulus is not prime")
+	}
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	adicity := 0
+	for pm1.Bit(adicity) == 0 {
+		adicity++
+	}
+	odd := new(big.Int).Rsh(pm1, uint(adicity))
+	one := big.NewInt(1)
+	half := new(big.Int).Lsh(one, uint(adicity-1))
+	var root *big.Int
+	for x := int64(2); ; x++ {
+		y := new(big.Int).Exp(big.NewInt(x), odd, p)
+		if new(big.Int).Exp(y, half, p).Cmp(one) != 0 {
+			root = y
+			break
+		}
+	}
+	return &FP{
+		p:        new(big.Int).Set(p),
+		bits:     p.BitLen(),
+		elemSize: (p.BitLen() + 7) / 8,
+		adicity:  adicity,
+		root:     root,
+		name:     name,
+	}
+}
+
+// Name implements Field.
+func (f *FP) Name() string { return f.name }
+
+// Bits implements Field.
+func (f *FP) Bits() int { return f.bits }
+
+// ElemSize implements Field.
+func (f *FP) ElemSize() int { return f.elemSize }
+
+// Modulus implements Field.
+func (f *FP) Modulus() *big.Int { return new(big.Int).Set(f.p) }
+
+// Zero implements Field.
+func (f *FP) Zero() *big.Int { return new(big.Int) }
+
+// One implements Field.
+func (f *FP) One() *big.Int { return big.NewInt(1) }
+
+// FromUint64 implements Field.
+func (f *FP) FromUint64(v uint64) *big.Int {
+	return new(big.Int).Mod(new(big.Int).SetUint64(v), f.p)
+}
+
+// FromInt64 implements Field.
+func (f *FP) FromInt64(v int64) *big.Int {
+	return new(big.Int).Mod(big.NewInt(v), f.p)
+}
+
+// FromBig implements Field.
+func (f *FP) FromBig(v *big.Int) *big.Int { return new(big.Int).Mod(v, f.p) }
+
+// ToBig implements Field.
+func (f *FP) ToBig(a *big.Int) *big.Int { return new(big.Int).Set(a) }
+
+// ToUint64 implements Field.
+func (f *FP) ToUint64(a *big.Int) (uint64, bool) {
+	if a.BitLen() > 64 {
+		return 0, false
+	}
+	return a.Uint64(), true
+}
+
+// Add implements Field.
+func (f *FP) Add(a, b *big.Int) *big.Int {
+	r := new(big.Int).Add(a, b)
+	if r.Cmp(f.p) >= 0 {
+		r.Sub(r, f.p)
+	}
+	return r
+}
+
+// Sub implements Field.
+func (f *FP) Sub(a, b *big.Int) *big.Int {
+	r := new(big.Int).Sub(a, b)
+	if r.Sign() < 0 {
+		r.Add(r, f.p)
+	}
+	return r
+}
+
+// Neg implements Field.
+func (f *FP) Neg(a *big.Int) *big.Int {
+	if a.Sign() == 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).Sub(f.p, a)
+}
+
+// Mul implements Field.
+func (f *FP) Mul(a, b *big.Int) *big.Int {
+	r := new(big.Int).Mul(a, b)
+	return r.Mod(r, f.p)
+}
+
+// Inv implements Field; Inv of zero returns zero.
+func (f *FP) Inv(a *big.Int) *big.Int {
+	if a.Sign() == 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).ModInverse(a, f.p)
+}
+
+// Equal implements Field.
+func (f *FP) Equal(a, b *big.Int) bool { return a.Cmp(b) == 0 }
+
+// IsZero implements Field.
+func (f *FP) IsZero(a *big.Int) bool { return a.Sign() == 0 }
+
+// AppendElem implements Field (fixed-width little-endian).
+func (f *FP) AppendElem(dst []byte, a *big.Int) []byte {
+	buf := make([]byte, f.elemSize)
+	a.FillBytes(buf) // big-endian
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return append(dst, buf...)
+}
+
+// ReadElem implements Field.
+func (f *FP) ReadElem(src []byte) (*big.Int, error) {
+	if len(src) < f.elemSize {
+		return nil, ErrShortBuffer
+	}
+	buf := make([]byte, f.elemSize)
+	for i := range buf {
+		buf[i] = src[f.elemSize-1-i] // reverse to big-endian
+	}
+	v := new(big.Int).SetBytes(buf)
+	if v.Cmp(f.p) >= 0 {
+		return nil, ErrNonCanonical
+	}
+	return v, nil
+}
+
+// SampleElem implements Field by masked rejection sampling.
+func (f *FP) SampleElem(r io.Reader) (*big.Int, error) {
+	buf := make([]byte, f.elemSize)
+	excess := uint(f.elemSize*8 - f.bits)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		buf[0] &= 0xFF >> excess // buf is interpreted big-endian below
+		v := new(big.Int).SetBytes(buf)
+		if v.Cmp(f.p) < 0 {
+			return v, nil
+		}
+	}
+}
+
+// TwoAdicity implements Field.
+func (f *FP) TwoAdicity() int { return f.adicity }
+
+// RootOfUnity implements Field.
+func (f *FP) RootOfUnity(logN int) *big.Int {
+	if logN < 0 || logN > f.adicity {
+		panic("field: FP root of unity order out of range")
+	}
+	r := new(big.Int).Set(f.root)
+	for i := f.adicity; i > logN; i-- {
+		r.Mul(r, r)
+		r.Mod(r, f.p)
+	}
+	return r
+}

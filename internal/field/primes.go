@@ -1,0 +1,51 @@
+package field
+
+import "math/big"
+
+// The paper's prototype evaluated Prio over an 87-bit and a 265-bit
+// FFT-friendly field (Table 3). The exact moduli were not published, so we
+// fix deterministic substitutes of the same shape c·2^40 + 1: the smallest
+// such primes of each bit length with two-adicity 40, found by the
+// documented search below (see FindFFTPrime and primes_test.go).
+const (
+	// ModulusFP87Decimal = 70368744177705 * 2^40 + 1, an 87-bit prime with
+	// two-adicity 40.
+	ModulusFP87Decimal = "77371252455381347157934081"
+	// ModulusFP265Decimal is a 265-bit prime of the form c * 2^40 + 1 with
+	// two-adicity 40.
+	ModulusFP265Decimal = "29642774844752946028434172162224104410437116074403984394101141506068642141306881"
+)
+
+// NewFP87 returns the 87-bit reference field used to reproduce the "87-bit"
+// column of Table 3.
+func NewFP87() *FP {
+	p, _ := new(big.Int).SetString(ModulusFP87Decimal, 10)
+	return NewFP("FP87", p)
+}
+
+// NewFP265 returns the 265-bit reference field used to reproduce the
+// "265-bit" column of Table 3.
+func NewFP265() *FP {
+	p, _ := new(big.Int).SetString(ModulusFP265Decimal, 10)
+	return NewFP("FP265", p)
+}
+
+// FindFFTPrime deterministically locates the smallest prime p = c·2^adicity+1
+// (c odd, scanned upward from 2^(bits-adicity-1)+1) with exactly the given
+// bit length. It documents the provenance of the baked-in constants above and
+// lets tests re-derive them.
+func FindFFTPrime(bitLen, adicity int) *big.Int {
+	one := big.NewInt(1)
+	two := big.NewInt(2)
+	pow := new(big.Int).Lsh(one, uint(adicity))
+	c := new(big.Int).Lsh(one, uint(bitLen-adicity-1))
+	c.Or(c, one)
+	for {
+		p := new(big.Int).Mul(c, pow)
+		p.Add(p, one)
+		if p.BitLen() == bitLen && p.ProbablyPrime(32) {
+			return p
+		}
+		c.Add(c, two)
+	}
+}

@@ -1,0 +1,284 @@
+// Package mpc implements Beaver-triple multi-party multiplication (Appendix
+// C.2) and the "Prio-MPC" protocol variant of Section 4.4 / Appendix E, in
+// which the servers — rather than the client — evaluate the Valid circuit on
+// secret-shared data.
+//
+// In Prio-MPC the client ships one multiplication triple per multiplication
+// gate of Valid, plus a SNIP proving the triples are well formed (c_t =
+// a_t·b_t for every t). The servers then walk the circuit together,
+// exchanging one opened (d, e) pair per multiplication gate — Θ(M) traffic
+// per submission, the linear growth visible in Figure 6 — over a number of
+// rounds equal to the circuit's multiplicative depth. Unlike SNIP
+// verification, this variant is private only against honest-but-curious
+// servers, and it keeps the Valid circuit hidden from clients.
+package mpc
+
+import (
+	"errors"
+	"io"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+)
+
+// ErrProtocol reports a malformed message or out-of-order round.
+var ErrProtocol = errors.New("mpc: protocol violation")
+
+// TripleCircuit builds the well-formedness circuit for m Beaver triples: the
+// input vector is (a_1, b_1, c_1, ..., a_m, b_m, c_m) and each triple must
+// satisfy a_t·b_t − c_t = 0. Its SNIP is how Prio-MPC keeps malicious
+// clients from dealing bad triples.
+func TripleCircuit[Fd field.Field[E], E any](f Fd, m int) *circuit.Circuit[E] {
+	b := circuit.NewBuilder(f, 3*m)
+	for t := 0; t < m; t++ {
+		prod := b.Mul(b.Input(3*t), b.Input(3*t+1))
+		b.AssertEqual(prod, b.Input(3*t+2))
+	}
+	return b.Build()
+}
+
+// DealTriples generates m valid multiplication triples in the flat layout
+// expected by TripleCircuit.
+func DealTriples[Fd field.Field[E], E any](f Fd, m int, rnd io.Reader) ([]E, error) {
+	out := make([]E, 3*m)
+	for t := 0; t < m; t++ {
+		a, err := f.SampleElem(rnd)
+		if err != nil {
+			return nil, err
+		}
+		b, err := f.SampleElem(rnd)
+		if err != nil {
+			return nil, err
+		}
+		out[3*t] = a
+		out[3*t+1] = b
+		out[3*t+2] = f.Mul(a, b)
+	}
+	return out, nil
+}
+
+// Open carries the masked openings for one round: D[i] = [u_i] − [a_i] and
+// E[i] = [v_i] − [b_i] for each multiplication gate scheduled in the round,
+// in deterministic circuit order.
+type Open[E any] struct {
+	D, E []E
+}
+
+// SumOpen combines all servers' Open shares into the opened values; the
+// leader runs this and broadcasts the result.
+func SumOpen[Fd field.Field[E], E any](f Fd, msgs []*Open[E]) *Open[E] {
+	if len(msgs) == 0 {
+		return &Open[E]{}
+	}
+	out := &Open[E]{
+		D: append([]E(nil), msgs[0].D...),
+		E: append([]E(nil), msgs[0].E...),
+	}
+	for _, m := range msgs[1:] {
+		field.AddVec(f, out.D, m.D)
+		field.AddVec(f, out.E, m.E)
+	}
+	return out
+}
+
+// Session is one server's state while cooperatively evaluating a circuit on
+// shares. Drive it with Start, then alternate SumOpen (at the leader) and
+// Step until done, then read assertion shares with TauShare.
+type Session[Fd field.Field[E], E any] struct {
+	f           Fd
+	c           *circuit.Circuit[E]
+	s           int // number of servers
+	constServer bool
+
+	wires       []E
+	known       []bool
+	triples     []E   // flat (a,b,c) shares, indexed by mul-gate ordinal
+	xInit       []E   // input share, applied in Start
+	pending     []int // gate indices awaiting opened values, in order
+	mulIdxCache map[int]int
+	done        bool
+}
+
+// NewSession starts the evaluation of c over this server's input share using
+// this server's shares of the client-dealt triples (flat layout, length
+// 3·M). s is the server count; constServer marks the single server that
+// includes public constants.
+func NewSession[Fd field.Field[E], E any](f Fd, c *circuit.Circuit[E], s int, xShare, triples []E, constServer bool) (*Session[Fd, E], error) {
+	if len(xShare) != c.NumInputs || len(triples) != 3*c.M() || s < 1 {
+		return nil, ErrProtocol
+	}
+	return &Session[Fd, E]{
+		f:           f,
+		c:           c,
+		s:           s,
+		constServer: constServer,
+		wires:       make([]E, len(c.Gates)),
+		known:       make([]bool, len(c.Gates)),
+		triples:     triples,
+		xInit:       xShare,
+	}, nil
+}
+
+// Rounds returns the number of communication rounds the evaluation needs:
+// the multiplicative depth of the circuit (plus zero if there are no
+// multiplication gates).
+func (se *Session[Fd, E]) Rounds() int { return MulDepth(se.c) }
+
+// MulDepth computes the multiplicative depth of a circuit: the maximum
+// number of multiplication gates on any input-to-assert path.
+func MulDepth[E any](c *circuit.Circuit[E]) int {
+	depth := make([]int, len(c.Gates))
+	max := 0
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpAdd, OpSub:
+			depth[i] = maxInt(depth[g.A], depth[g.B])
+		case OpMul:
+			depth[i] = maxInt(depth[g.A], depth[g.B]) + 1
+		case OpMulConst:
+			depth[i] = depth[g.A]
+		}
+		if depth[i] > max {
+			max = depth[i]
+		}
+	}
+	return max
+}
+
+// Start performs the first local propagation pass and returns the Open
+// shares for every multiplication gate whose operands are already known. A
+// nil return with done=true means the circuit had no multiplication gates.
+func (se *Session[Fd, E]) Start() (*Open[E], bool) {
+	for i := 0; i < se.c.NumInputs; i++ {
+		se.wires[i] = se.xInit[i]
+		se.known[i] = true
+	}
+	return se.advance()
+}
+
+// Step consumes the opened (d,e) values for the previous round's pending
+// gates, resolves those multiplications, and returns the next round's Open
+// shares. done=true signals that every wire is resolved.
+func (se *Session[Fd, E]) Step(opened *Open[E]) (*Open[E], bool, error) {
+	if se.done {
+		return nil, true, ErrProtocol
+	}
+	f := se.f
+	if len(opened.D) != len(se.pending) || len(opened.E) != len(se.pending) {
+		return nil, false, ErrProtocol
+	}
+	invS := f.Inv(f.FromUint64(uint64(se.s)))
+	mulIdx := se.mulIndex()
+	for k, gi := range se.pending {
+		t := mulIdx[gi]
+		a := se.triples[3*t]
+		b := se.triples[3*t+1]
+		cc := se.triples[3*t+2]
+		d, e := opened.D[k], opened.E[k]
+		// [uv]_i = de/s + d·b_i + e·a_i + c_i
+		v := f.Mul(f.Mul(d, e), invS)
+		v = f.Add(v, f.Mul(d, b))
+		v = f.Add(v, f.Mul(e, a))
+		v = f.Add(v, cc)
+		se.wires[gi] = v
+		se.known[gi] = true
+	}
+	se.pending = se.pending[:0]
+	open, done := se.advance()
+	return open, done, nil
+}
+
+// TauShare returns this server's share of Σ ρ_k · assert_k once evaluation
+// has finished; the servers publish these and accept iff they sum to zero.
+func (se *Session[Fd, E]) TauShare(rho []E) (E, error) {
+	f := se.f
+	var zero E
+	if !se.done || len(rho) != len(se.c.Asserts) {
+		return zero, ErrProtocol
+	}
+	tau := f.Zero()
+	for k, a := range se.c.Asserts {
+		tau = f.Add(tau, f.Mul(rho[k], se.wires[a]))
+	}
+	return tau, nil
+}
+
+// advance propagates every computable affine gate, then collects the masked
+// openings for multiplication gates whose operands just became known.
+func (se *Session[Fd, E]) advance() (*Open[E], bool) {
+	f := se.f
+	c := se.c
+	out := &Open[E]{}
+	mulIdx := se.mulIndex()
+	for i, g := range c.Gates {
+		if se.known[i] {
+			continue
+		}
+		switch g.Op {
+		case OpInput:
+			// handled in Start
+		case OpConst:
+			if se.constServer {
+				se.wires[i] = g.K
+			} else {
+				se.wires[i] = f.Zero()
+			}
+			se.known[i] = true
+		case OpAdd:
+			if se.known[g.A] && se.known[g.B] {
+				se.wires[i] = f.Add(se.wires[g.A], se.wires[g.B])
+				se.known[i] = true
+			}
+		case OpSub:
+			if se.known[g.A] && se.known[g.B] {
+				se.wires[i] = f.Sub(se.wires[g.A], se.wires[g.B])
+				se.known[i] = true
+			}
+		case OpMulConst:
+			if se.known[g.A] {
+				se.wires[i] = f.Mul(g.K, se.wires[g.A])
+				se.known[i] = true
+			}
+		case OpMul:
+			if se.known[g.A] && se.known[g.B] {
+				t := mulIdx[i]
+				out.D = append(out.D, f.Sub(se.wires[g.A], se.triples[3*t]))
+				out.E = append(out.E, f.Sub(se.wires[g.B], se.triples[3*t+1]))
+				se.pending = append(se.pending, i)
+			}
+		}
+	}
+	if len(se.pending) == 0 {
+		se.done = true
+		return nil, true
+	}
+	return out, false
+}
+
+// mulIndex maps a multiplication gate's wire index to its ordinal t.
+func (se *Session[Fd, E]) mulIndex() map[int]int {
+	if se.mulIdxCache == nil {
+		se.mulIdxCache = make(map[int]int, len(se.c.MulGates))
+		for t, w := range se.c.MulGates {
+			se.mulIdxCache[w] = t
+		}
+	}
+	return se.mulIdxCache
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Gate op aliases, so the switch above reads naturally.
+const (
+	OpInput    = circuit.OpInput
+	OpConst    = circuit.OpConst
+	OpAdd      = circuit.OpAdd
+	OpSub      = circuit.OpSub
+	OpMul      = circuit.OpMul
+	OpMulConst = circuit.OpMulConst
+)

@@ -1,0 +1,266 @@
+package mpc
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+	"prio/internal/share"
+	"prio/internal/snip"
+)
+
+// evalMPC runs the full multi-server MPC evaluation of circuit c on secret x
+// and returns the summed assertion combination (zero means valid).
+func evalMPC(t *testing.T, c *circuit.Circuit[uint64], x []uint64, s int) uint64 {
+	t.Helper()
+	f := field.NewF64()
+	m := c.M()
+	triples, err := DealTriples(f, m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xShares, err := share.Split(f, rand.Reader, x, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tShares, err := share.Split(f, rand.Reader, triples, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := field.SampleVec(f, rand.Reader, len(c.Asserts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sessions := make([]*Session[field.F64, uint64], s)
+	opens := make([]*Open[uint64], s)
+	done := true
+	for i := 0; i < s; i++ {
+		se, err := NewSession(f, c, s, xShares[i], tShares[i], i == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = se
+		var d bool
+		opens[i], d = se.Start()
+		done = d
+	}
+	rounds := 0
+	for !done {
+		rounds++
+		if rounds > MulDepth(c)+1 {
+			t.Fatal("MPC did not terminate within MulDepth rounds")
+		}
+		opened := SumOpen(f, opens)
+		for i := 0; i < s; i++ {
+			next, d, err := sessions[i].Step(opened)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opens[i], done = next, d
+		}
+	}
+	tau := f.Zero()
+	for i := 0; i < s; i++ {
+		ts, err := sessions[i].TauShare(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau = f.Add(tau, ts)
+	}
+	return tau
+}
+
+func bitCircuit(n int) *circuit.Circuit[uint64] {
+	f := field.NewF64()
+	b := circuit.NewBuilder(f, n)
+	for i := 0; i < n; i++ {
+		b.AssertBit(b.Input(i))
+	}
+	return b.Build()
+}
+
+func TestMPCAcceptsValidBits(t *testing.T) {
+	c := bitCircuit(8)
+	x := []uint64{0, 1, 1, 0, 1, 0, 0, 1}
+	for _, s := range []int{1, 2, 5} {
+		if tau := evalMPC(t, c, x, s); tau != 0 {
+			t.Errorf("s=%d: valid bits rejected (tau=%d)", s, tau)
+		}
+	}
+}
+
+func TestMPCRejectsInvalidBits(t *testing.T) {
+	c := bitCircuit(8)
+	x := []uint64{0, 1, 2, 0, 1, 0, 0, 1} // 2 is not a bit
+	if tau := evalMPC(t, c, x, 3); tau == 0 {
+		t.Error("invalid bits accepted")
+	}
+}
+
+func TestMPCDeepCircuit(t *testing.T) {
+	// x^8 == y requires three levels of multiplications.
+	f := field.NewF64()
+	b := circuit.NewBuilder(f, 2)
+	x2 := b.Mul(b.Input(0), b.Input(0))
+	x4 := b.Mul(x2, x2)
+	x8 := b.Mul(x4, x4)
+	b.AssertEqual(x8, b.Input(1))
+	c := b.Build()
+	if d := MulDepth(c); d != 3 {
+		t.Fatalf("MulDepth = %d, want 3", d)
+	}
+	v := uint64(3)
+	y := field.Pow(f, v, 8)
+	if tau := evalMPC(t, c, []uint64{v, y}, 4); tau != 0 {
+		t.Error("valid power relation rejected")
+	}
+	if tau := evalMPC(t, c, []uint64{v, y + 1}, 4); tau == 0 {
+		t.Error("invalid power relation accepted")
+	}
+}
+
+func TestTripleCircuitWithSNIP(t *testing.T) {
+	// The Prio-MPC bootstrap: verify client-dealt triples with a SNIP.
+	f := field.NewF64()
+	const m = 6
+	c := TripleCircuit(f, m)
+	if c.M() != m {
+		t.Fatalf("TripleCircuit has %d mul gates, want %d", c.M(), m)
+	}
+	sys, err := snip.NewSystem(f, c, snip.Params{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := DealTriples(f, m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runSNIP(t, sys, good) {
+		t.Error("valid triples rejected")
+	}
+	bad := append([]uint64(nil), good...)
+	bad[2] = f.Add(bad[2], 1) // corrupt c_1
+	if runSNIP(t, sys, bad) {
+		t.Error("invalid triples accepted")
+	}
+}
+
+func runSNIP(t *testing.T, sys *snip.System[field.F64, uint64], x []uint64) bool {
+	t.Helper()
+	f := field.NewF64()
+	pf, err := sys.Prove(x, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := share.Split(f, rand.Reader, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := sys.Split(pf, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := sys.NewChallenge(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sys.NewEvaluator(ch).VerifyDistributed(xs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestMPCBadTriplesCorruptResult(t *testing.T) {
+	// With a corrupted triple, an honest input's assertion combination
+	// becomes nonzero: this is exactly why Prio-MPC SNIP-checks triples.
+	f := field.NewF64()
+	c := bitCircuit(4)
+	x := []uint64{1, 0, 1, 1}
+	triples, err := DealTriples(f, c.M(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples[2] = f.Add(triples[2], 1) // break c of triple 0
+
+	const s = 2
+	xs, _ := share.Split(f, rand.Reader, x, s)
+	ts, _ := share.Split(f, rand.Reader, triples, s)
+	rho, _ := field.SampleVec(f, rand.Reader, len(c.Asserts))
+
+	sessions := make([]*Session[field.F64, uint64], s)
+	opens := make([]*Open[uint64], s)
+	for i := 0; i < s; i++ {
+		se, err := NewSession(f, c, s, xs[i], ts[i], i == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = se
+		opens[i], _ = se.Start()
+	}
+	opened := SumOpen(f, opens)
+	tau := f.Zero()
+	for i := 0; i < s; i++ {
+		if _, done, err := sessions[i].Step(opened); err != nil || !done {
+			t.Fatalf("step: done=%v err=%v", done, err)
+		}
+		tsh, err := sessions[i].TauShare(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau = f.Add(tau, tsh)
+	}
+	if tau == 0 {
+		t.Error("corrupted triple went unnoticed on honest input")
+	}
+}
+
+func TestSessionProtocolErrors(t *testing.T) {
+	f := field.NewF64()
+	c := bitCircuit(2)
+	x := []uint64{1, 0}
+	triples, _ := DealTriples(f, c.M(), rand.Reader)
+
+	if _, err := NewSession(f, c, 2, x[:1], triples, true); err == nil {
+		t.Error("NewSession accepted short input")
+	}
+	if _, err := NewSession(f, c, 2, x, triples[:1], true); err == nil {
+		t.Error("NewSession accepted short triples")
+	}
+	if _, err := NewSession(f, c, 0, x, triples, true); err == nil {
+		t.Error("NewSession accepted zero servers")
+	}
+
+	se, err := NewSession(f, c, 1, x, triples, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.TauShare(nil); err == nil {
+		t.Error("TauShare allowed before completion")
+	}
+	open, done := se.Start()
+	if done {
+		t.Fatal("circuit with mul gates finished without rounds")
+	}
+	if _, _, err := se.Step(&Open[uint64]{D: open.D[:0], E: open.E[:0]}); err == nil {
+		t.Error("Step accepted mismatched open lengths")
+	}
+}
+
+func TestMulDepthAffine(t *testing.T) {
+	f := field.NewF64()
+	b := circuit.NewBuilder(f, 2)
+	b.AssertEqual(b.Add(b.Input(0), b.Input(1)), b.Const(5))
+	c := b.Build()
+	if MulDepth(c) != 0 {
+		t.Error("affine circuit has nonzero mul depth")
+	}
+	if tau := evalMPC(t, c, []uint64{2, 3}, 3); tau != 0 {
+		t.Error("valid affine input rejected")
+	}
+	if tau := evalMPC(t, c, []uint64{2, 4}, 3); tau == 0 {
+		t.Error("invalid affine input accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package mpc
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"prio/internal/circuit"
+	"prio/internal/field"
+	"prio/internal/share"
+)
+
+// randCircuit builds a random circuit whose assertion wires are engineered
+// to be zero on the chosen input (so valid inputs exist), plus one assertion
+// comparing a random wire against its true value.
+func randTestCase(seed int64, nIn int) (*circuit.Circuit[uint64], []uint64) {
+	f := field.NewF64()
+	rng := mrand.New(mrand.NewSource(seed))
+	x := make([]uint64, nIn)
+	for i := range x {
+		x[i] = uint64(rng.Intn(1000))
+	}
+	b := circuit.NewBuilder(f, nIn)
+	wires := make([]circuit.Wire, 0, nIn+16)
+	for i := 0; i < nIn; i++ {
+		wires = append(wires, b.Input(i))
+	}
+	pick := func() circuit.Wire { return wires[rng.Intn(len(wires))] }
+	for g := 0; g < 12; g++ {
+		var w circuit.Wire
+		switch rng.Intn(4) {
+		case 0:
+			w = b.Add(pick(), pick())
+		case 1:
+			w = b.Sub(pick(), pick())
+		case 2:
+			w = b.Mul(pick(), pick())
+		default:
+			w = b.MulConst(pick(), uint64(rng.Intn(50)))
+		}
+		wires = append(wires, w)
+	}
+	// Make the last wire's true value an assertion target: w - const(val).
+	c0 := b.Build()
+	tr := circuit.Eval(f, c0, x)
+	// Rebuild with the assertion appended (builder was consumed).
+	b2 := circuit.NewBuilder(f, nIn)
+	wireMap := make([]circuit.Wire, len(c0.Gates))
+	for gi, g := range c0.Gates {
+		switch g.Op {
+		case circuit.OpInput:
+			wireMap[gi] = b2.Input(g.A)
+		case circuit.OpConst:
+			wireMap[gi] = b2.Const(g.K)
+		case circuit.OpAdd:
+			wireMap[gi] = b2.Add(wireMap[g.A], wireMap[g.B])
+		case circuit.OpSub:
+			wireMap[gi] = b2.Sub(wireMap[g.A], wireMap[g.B])
+		case circuit.OpMul:
+			wireMap[gi] = b2.Mul(wireMap[g.A], wireMap[g.B])
+		case circuit.OpMulConst:
+			wireMap[gi] = b2.MulConst(wireMap[g.A], g.K)
+		}
+	}
+	last := wireMap[len(wireMap)-1]
+	b2.AssertEqual(last, b2.Const(tr.Wires[len(tr.Wires)-1]))
+	return b2.Build(), x
+}
+
+// runMPC evaluates the circuit's assertion combination over s servers.
+func runMPC(t *testing.T, c *circuit.Circuit[uint64], x []uint64, s int) (uint64, error) {
+	t.Helper()
+	f := field.NewF64()
+	triples, err := DealTriples(f, c.M(), rand.Reader)
+	if err != nil {
+		return 0, err
+	}
+	xs, err := share.Split(f, rand.Reader, x, s)
+	if err != nil {
+		return 0, err
+	}
+	ts, err := share.Split(f, rand.Reader, triples, s)
+	if err != nil {
+		return 0, err
+	}
+	rho, err := field.SampleVec(f, rand.Reader, len(c.Asserts))
+	if err != nil {
+		return 0, err
+	}
+	sessions := make([]*Session[field.F64, uint64], s)
+	opens := make([]*Open[uint64], s)
+	done := true
+	for i := 0; i < s; i++ {
+		se, err := NewSession(f, c, s, xs[i], ts[i], i == 0)
+		if err != nil {
+			return 0, err
+		}
+		sessions[i] = se
+		var d bool
+		opens[i], d = se.Start()
+		done = d
+	}
+	for !done {
+		opened := SumOpen(f, opens)
+		for i := 0; i < s; i++ {
+			next, d, err := sessions[i].Step(opened)
+			if err != nil {
+				return 0, err
+			}
+			opens[i], done = next, d
+		}
+	}
+	tau := f.Zero()
+	for i := 0; i < s; i++ {
+		sh, err := sessions[i].TauShare(rho)
+		if err != nil {
+			return 0, err
+		}
+		tau = f.Add(tau, sh)
+	}
+	return tau, nil
+}
+
+// TestMPCEqualsClearEvalQuick: on random circuits with satisfying inputs,
+// distributed evaluation agrees with the clear validity check.
+func TestMPCEqualsClearEvalQuick(t *testing.T) {
+	err := quick.Check(func(seed int64, sRaw uint8) bool {
+		s := int(sRaw%4) + 1
+		c, x := randTestCase(seed, 4)
+		tau, err := runMPC(t, c, x, s)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return tau == 0
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMPCDetectsWrongInputQuick: perturbing the input makes the assertion
+// combination nonzero (with overwhelming probability over rho).
+func TestMPCDetectsWrongInputQuick(t *testing.T) {
+	f := field.NewF64()
+	err := quick.Check(func(seed int64, delta uint64) bool {
+		delta %= field.ModulusF64
+		if delta == 0 {
+			return true
+		}
+		c, x := randTestCase(seed, 4)
+		bad := append([]uint64(nil), x...)
+		bad[0] = f.Add(bad[0], delta)
+		// Some random circuits may not propagate input 0 to the assertion;
+		// only check when the clear evaluation actually fails.
+		if circuit.Validate(f, c, bad) {
+			return true
+		}
+		tau, err := runMPC(t, c, bad, 3)
+		if err != nil {
+			return false
+		}
+		return tau != 0
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package nizk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Submission is one client's upload in the NIZK scheme: a ciphertext and a
+// validity proof per bit position.
+type Submission struct {
+	Cts    []Ciphertext
+	Proofs []*BitProof
+}
+
+// NewSubmission encrypts and proves an l-bit vector.
+func NewSubmission(jointKey Point, bits []bool) (*Submission, error) {
+	s := &Submission{
+		Cts:    make([]Ciphertext, len(bits)),
+		Proofs: make([]*BitProof, len(bits)),
+	}
+	for i, b := range bits {
+		var m uint8
+		if b {
+			m = 1
+		}
+		ct, r, err := EncryptBit(jointKey, m)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := ProveBit(jointKey, ct, m, r)
+		if err != nil {
+			return nil, err
+		}
+		s.Cts[i] = ct
+		s.Proofs[i] = pf
+	}
+	return s, nil
+}
+
+// Verify checks every bit proof, as each server must before accumulating.
+func (s *Submission) Verify(jointKey Point) bool {
+	if len(s.Cts) != len(s.Proofs) {
+		return false
+	}
+	for i := range s.Cts {
+		if !VerifyBit(jointKey, s.Cts[i], s.Proofs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the upload's wire size.
+func (s *Submission) Bytes() int { return SubmissionBytes(len(s.Cts)) }
+
+// Aggregator is one server's state in the NIZK scheme: it verifies
+// submissions and maintains the homomorphic sum per position.
+type Aggregator struct {
+	jointKey Point
+	share    *KeyShare
+	acc      []Ciphertext
+	count    int
+}
+
+// NewAggregator builds a server with its key share and the joint key.
+func NewAggregator(jointKey Point, share *KeyShare, l int) *Aggregator {
+	return &Aggregator{jointKey: jointKey, share: share, acc: make([]Ciphertext, l)}
+}
+
+// Process verifies a submission and folds it into the accumulator; invalid
+// submissions are rejected without effect.
+func (a *Aggregator) Process(s *Submission) error {
+	if len(s.Cts) != len(a.acc) {
+		return errors.New("nizk: submission length mismatch")
+	}
+	if !s.Verify(a.jointKey) {
+		return errors.New("nizk: invalid proof")
+	}
+	for i := range a.acc {
+		a.acc[i] = AddCiphertexts(a.acc[i], s.Cts[i])
+	}
+	a.count++
+	return nil
+}
+
+// Count returns the number of accepted submissions.
+func (a *Aggregator) Count() int { return a.count }
+
+// DecryptionShares returns this server's partial decryptions of the
+// accumulated ciphertexts; all servers' shares jointly decrypt the tallies.
+func (a *Aggregator) DecryptionShares() []Point {
+	out := make([]Point, len(a.acc))
+	for i := range a.acc {
+		out[i] = PartialDecrypt(a.share, a.acc[i].C1)
+	}
+	return out
+}
+
+// Recover decodes the per-position counts from an accumulator and every
+// server's decryption shares.
+func Recover(acc []Ciphertext, shares [][]Point, maxCount int) ([]int, error) {
+	out := make([]int, len(acc))
+	for i := range acc {
+		partials := make([]Point, len(shares))
+		for srv := range shares {
+			if len(shares[srv]) != len(acc) {
+				return nil, fmt.Errorf("nizk: server %d supplied %d shares, want %d", srv, len(shares[srv]), len(acc))
+			}
+			partials[srv] = shares[srv][i]
+		}
+		m, err := RecoverCount(acc[i], partials, maxCount)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Accumulator exposes the homomorphic sums (e.g. to hand to Recover).
+func (a *Aggregator) Accumulator() []Ciphertext { return a.acc }

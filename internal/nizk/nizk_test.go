@@ -1,0 +1,211 @@
+package nizk
+
+import (
+	"math/big"
+	"testing"
+)
+
+func testKeys(t *testing.T, s int) ([]*KeyShare, Point) {
+	t.Helper()
+	shares := make([]*KeyShare, s)
+	pubs := make([]Point, s)
+	for i := range shares {
+		ks, err := GenerateKeyShare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[i] = ks
+		pubs[i] = ks.Pub
+	}
+	return shares, JointKey(pubs)
+}
+
+func TestEncryptProveVerify(t *testing.T) {
+	_, joint := testKeys(t, 3)
+	for _, m := range []uint8{0, 1} {
+		ct, r, err := EncryptBit(joint, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := ProveBit(joint, ct, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyBit(joint, ct, pf) {
+			t.Errorf("valid proof for bit %d rejected", m)
+		}
+	}
+	if _, _, err := EncryptBit(joint, 2); err == nil {
+		t.Error("EncryptBit accepted non-bit")
+	}
+}
+
+func TestProofRejectsNonBit(t *testing.T) {
+	// Encrypt m=2 by hand and try to prove it with either witness; both
+	// claims must fail verification.
+	_, joint := testKeys(t, 2)
+	ct, r, err := EncryptBit(joint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn it into an encryption of 2 by adding G to C2.
+	ct2 := Ciphertext{C1: ct.C1, C2: add(ct.C2, baseMul(big.NewInt(1)))}
+	for _, claim := range []uint8{0, 1} {
+		pf, err := ProveBit(joint, ct2, claim, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if VerifyBit(joint, ct2, pf) {
+			t.Errorf("proof of non-bit accepted (claimed %d)", claim)
+		}
+	}
+}
+
+func TestProofTamperRejected(t *testing.T) {
+	_, joint := testKeys(t, 2)
+	ct, r, err := EncryptBit(joint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ProveBit(joint, ct, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := big.NewInt(1)
+	n := curve.Params().N
+	mutations := []func(*BitProof){
+		func(p *BitProof) { p.Z0 = new(big.Int).Add(p.Z0, one) },
+		func(p *BitProof) { p.Z1 = new(big.Int).Add(p.Z1, one) },
+		func(p *BitProof) { p.C0 = new(big.Int).Mod(new(big.Int).Add(p.C0, one), n) },
+		func(p *BitProof) { p.A0 = baseMul(big.NewInt(7)) },
+		func(p *BitProof) { p.B1 = baseMul(big.NewInt(9)) },
+	}
+	for i, mut := range mutations {
+		cp := *pf
+		mut(&cp)
+		if VerifyBit(joint, ct, &cp) {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	// Proof transplanted onto a different ciphertext must fail.
+	ct2, _, err := EncryptBit(joint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyBit(joint, ct2, pf) {
+		t.Error("proof accepted for the wrong ciphertext")
+	}
+	if VerifyBit(joint, ct, nil) {
+		t.Error("nil proof accepted")
+	}
+}
+
+func TestHomomorphicAggregationAndDecryption(t *testing.T) {
+	const s = 3
+	shares, joint := testKeys(t, s)
+	const l = 8
+	aggs := make([]*Aggregator, s)
+	for i := range aggs {
+		aggs[i] = NewAggregator(joint, shares[i], l)
+	}
+	// Ten clients with deterministic bit patterns.
+	want := make([]int, l)
+	for c := 0; c < 10; c++ {
+		bits := make([]bool, l)
+		for i := range bits {
+			bits[i] = (c+i)%3 == 0
+			if bits[i] {
+				want[i]++
+			}
+		}
+		sub, err := NewSubmission(joint, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range aggs {
+			if err := aggs[i].Process(sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if aggs[0].Count() != 10 {
+		t.Fatalf("count = %d", aggs[0].Count())
+	}
+	decShares := make([][]Point, s)
+	for i := range aggs {
+		decShares[i] = aggs[i].DecryptionShares()
+	}
+	got, err := Recover(aggs[0].Accumulator(), decShares, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("count[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregatorRejectsInvalid(t *testing.T) {
+	shares, joint := testKeys(t, 2)
+	agg := NewAggregator(joint, shares[0], 4)
+	sub, err := NewSubmission(joint, []bool{true, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one proof.
+	sub.Proofs[2].Z0 = new(big.Int).Add(sub.Proofs[2].Z0, big.NewInt(1))
+	if err := agg.Process(sub); err == nil {
+		t.Error("invalid submission accepted")
+	}
+	if agg.Count() != 0 {
+		t.Error("rejected submission entered the accumulator")
+	}
+	// Length mismatch.
+	short, err := NewSubmission(joint, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Process(short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSubmissionBytes(t *testing.T) {
+	if SubmissionBytes(10) != 10*(CiphertextBytes+ProofBytes) {
+		t.Error("SubmissionBytes formula drifted")
+	}
+	sub := &Submission{Cts: make([]Ciphertext, 5), Proofs: make([]*BitProof, 5)}
+	if sub.Bytes() != SubmissionBytes(5) {
+		t.Error("Bytes() disagrees with SubmissionBytes")
+	}
+}
+
+func TestRecoverCountEdges(t *testing.T) {
+	shares, joint := testKeys(t, 1)
+	// Encrypt 1, decrypt with the single share.
+	ct, _, err := EncryptBit(joint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RecoverCount(ct, []Point{PartialDecrypt(shares[0], ct.C1)}, 5)
+	if err != nil || m != 1 {
+		t.Errorf("recovered %d err=%v", m, err)
+	}
+	// Zero.
+	ct0, _, err := EncryptBit(joint, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = RecoverCount(ct0, []Point{PartialDecrypt(shares[0], ct0.C1)}, 5)
+	if err != nil || m != 0 {
+		t.Errorf("recovered %d err=%v", m, err)
+	}
+	// Out of range: sum of 3 ones with maxCount 2.
+	acc := ct
+	acc = AddCiphertexts(acc, ct)
+	acc = AddCiphertexts(acc, ct)
+	if _, err := RecoverCount(acc, []Point{PartialDecrypt(shares[0], acc.C1)}, 2); err == nil {
+		t.Error("out-of-range count recovered")
+	}
+}

@@ -1,0 +1,67 @@
+package nizk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSubmissionRoundTripQuick: random bit vectors encrypt, prove, verify,
+// aggregate and decrypt back to exact per-position counts for random server
+// counts — the NIZK baseline must be a faithful comparator, not a strawman.
+func TestSubmissionRoundTripQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("public-key heavy; skipped in -short mode")
+	}
+	err := quick.Check(func(pattern uint8, sRaw uint8) bool {
+		const l = 4
+		s := int(sRaw%3) + 1
+		shares := make([]*KeyShare, s)
+		pubs := make([]Point, s)
+		for i := range shares {
+			ks, err := GenerateKeyShare()
+			if err != nil {
+				return false
+			}
+			shares[i] = ks
+			pubs[i] = ks.Pub
+		}
+		joint := JointKey(pubs)
+
+		bits := make([]bool, l)
+		want := make([]int, l)
+		for i := range bits {
+			bits[i] = pattern&(1<<uint(i)) != 0
+			if bits[i] {
+				want[i] = 1
+			}
+		}
+		sub, err := NewSubmission(joint, bits)
+		if err != nil {
+			return false
+		}
+		aggs := make([]*Aggregator, s)
+		for i := range aggs {
+			aggs[i] = NewAggregator(joint, shares[i], l)
+			if err := aggs[i].Process(sub); err != nil {
+				return false
+			}
+		}
+		dec := make([][]Point, s)
+		for i := range aggs {
+			dec[i] = aggs[i].DecryptionShares()
+		}
+		got, err := Recover(aggs[0].Accumulator(), dec, 1)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package poly
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"prio/internal/field"
+)
+
+func randVec(t *testing.T, n int) []uint64 {
+	t.Helper()
+	v, err := field.SampleVec(field.NewF64(), rand.Reader, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNTTInverse(t *testing.T) {
+	f := field.NewF64()
+	for _, logN := range []int{0, 1, 2, 5, 8, 10} {
+		d := NewDomain(f, logN)
+		a := randVec(t, d.N)
+		orig := append([]uint64(nil), a...)
+		d.NTT(a)
+		d.INTT(a)
+		if !field.EqualVec(f, a, orig) {
+			t.Errorf("logN=%d: INTT(NTT(a)) != a", logN)
+		}
+	}
+}
+
+func TestNTTMatchesDirectEvaluation(t *testing.T) {
+	f := field.NewF64()
+	d := NewDomain(f, 4)
+	coeffs := randVec(t, d.N)
+	evals := append([]uint64(nil), coeffs...)
+	d.NTT(evals)
+	for j := 0; j < d.N; j++ {
+		want := Eval(f, coeffs, d.Point(j))
+		if evals[j] != want {
+			t.Fatalf("NTT[%d] = %d, want %d", j, evals[j], want)
+		}
+	}
+}
+
+func TestNTTMultiplicationMatchesNaive(t *testing.T) {
+	f := field.NewF64()
+	d := NewDomain(f, 5) // N = 32
+	a := randVec(t, 10)
+	b := randVec(t, 12)
+	want := MulNaive(f, a, b)
+
+	// pad to N, NTT, pointwise multiply, INTT
+	pa := make([]uint64, d.N)
+	pb := make([]uint64, d.N)
+	copy(pa, a)
+	copy(pb, b)
+	d.NTT(pa)
+	d.NTT(pb)
+	for i := range pa {
+		pa[i] = f.Mul(pa[i], pb[i])
+	}
+	d.INTT(pa)
+	for i := range want {
+		if pa[i] != want[i] {
+			t.Fatalf("product coeff %d = %d, want %d", i, pa[i], want[i])
+		}
+	}
+	for i := len(want); i < d.N; i++ {
+		if pa[i] != 0 {
+			t.Fatalf("product coeff %d = %d, want 0", i, pa[i])
+		}
+	}
+}
+
+func TestNTTF128(t *testing.T) {
+	f := field.NewF128()
+	d := NewDomain(f, 6)
+	a, err := field.SampleVec(f, rand.Reader, d.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]field.U128(nil), a...)
+	d.NTT(a)
+	d.INTT(a)
+	if !field.EqualVec(f, a, orig) {
+		t.Error("F128 INTT(NTT(a)) != a")
+	}
+}
+
+func TestNTTFP87(t *testing.T) {
+	f := field.NewFP87()
+	d := NewDomain(f, 4)
+	a, err := field.SampleVec(f, rand.Reader, d.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]string, len(a))
+	for i, v := range a {
+		before[i] = v.String()
+	}
+	d.NTT(a)
+	d.INTT(a)
+	for i, v := range a {
+		if v.String() != before[i] {
+			t.Fatalf("FP87 INTT(NTT(a))[%d] = %v, want %v", i, v, before[i])
+		}
+	}
+}
+
+func TestEvalWeights(t *testing.T) {
+	f := field.NewF64()
+	d := NewDomain(f, 5)
+	coeffs := randVec(t, d.N)
+	evals := append([]uint64(nil), coeffs...)
+	d.NTT(evals)
+
+	for _, r := range []uint64{0, 1, 2, 999, field.ModulusF64 - 1} {
+		w := d.EvalWeights(r)
+		got := field.InnerProduct(f, w, evals)
+		want := Eval(f, coeffs, r)
+		if got != want {
+			t.Errorf("r=%d: weights eval = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestEvalWeightsInDomain(t *testing.T) {
+	f := field.NewF64()
+	d := NewDomain(f, 4)
+	coeffs := randVec(t, d.N)
+	evals := append([]uint64(nil), coeffs...)
+	d.NTT(evals)
+	// r = w^5 lies in the domain; weights must pick out evals[5].
+	r := d.Point(5)
+	w := d.EvalWeights(r)
+	got := field.InnerProduct(f, w, evals)
+	if got != evals[5] {
+		t.Errorf("in-domain eval = %d, want %d", got, evals[5])
+	}
+}
+
+func TestEvalWeightsLinearOverShares(t *testing.T) {
+	// The verifier applies weights to *shares*; check linearity:
+	// weights·(x+y) == weights·x + weights·y.
+	f := field.NewF64()
+	d := NewDomain(f, 3)
+	x := randVec(t, d.N)
+	y := randVec(t, d.N)
+	sum := append([]uint64(nil), x...)
+	field.AddVec(f, sum, y)
+	w := d.EvalWeights(12345)
+	lhs := field.InnerProduct(f, w, sum)
+	rhs := f.Add(field.InnerProduct(f, w, x), field.InnerProduct(f, w, y))
+	if lhs != rhs {
+		t.Error("evaluation weights are not linear")
+	}
+}
+
+func TestBatchInv(t *testing.T) {
+	f := field.NewF64()
+	a := []uint64{1, 2, 3, 0, 12345, field.ModulusF64 - 1, 0, 7}
+	inv := BatchInv(f, a)
+	for i, v := range a {
+		if v == 0 {
+			if inv[i] != 0 {
+				t.Errorf("BatchInv of zero = %d, want 0", inv[i])
+			}
+			continue
+		}
+		if f.Mul(v, inv[i]) != 1 {
+			t.Errorf("a[%d]*inv = %d, want 1", i, f.Mul(v, inv[i]))
+		}
+	}
+	if got := BatchInv(f, nil); len(got) != 0 {
+		t.Error("BatchInv(nil) should be empty")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	f := field.NewF64()
+	coeffs := []uint64{5, 0, 3, 7} // 5 + 3x^2 + 7x^3
+	xs := []uint64{1, 2, 3, 4}
+	ys := make([]uint64, len(xs))
+	for i, x := range xs {
+		ys[i] = Eval(f, coeffs, x)
+	}
+	got := Interpolate(f, xs, ys)
+	if !field.EqualVec(f, got, coeffs) {
+		t.Errorf("Interpolate = %v, want %v", got, coeffs)
+	}
+}
+
+func TestInterpolateRandom(t *testing.T) {
+	f := field.NewF64()
+	for n := 1; n <= 12; n++ {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(i * i * 3) // distinct
+		}
+		ys := randVec(t, n)
+		coeffs := Interpolate(f, xs, ys)
+		if len(coeffs) != n {
+			t.Fatalf("n=%d: got %d coefficients", n, len(coeffs))
+		}
+		for i := range xs {
+			if got := Eval(f, coeffs, xs[i]); got != ys[i] {
+				t.Fatalf("n=%d: P(%d) = %d, want %d", n, xs[i], got, ys[i])
+			}
+		}
+	}
+}
+
+func TestInterpolateAgainstNTT(t *testing.T) {
+	// Interpolating over the NTT domain must agree with INTT.
+	f := field.NewF64()
+	d := NewDomain(f, 3)
+	ys := randVec(t, d.N)
+	xs := make([]uint64, d.N)
+	for i := range xs {
+		xs[i] = d.Point(i)
+	}
+	want := Interpolate(f, xs, ys)
+	got := append([]uint64(nil), ys...)
+	d.INTT(got)
+	if !field.EqualVec(f, got, want) {
+		t.Error("INTT disagrees with reference interpolation")
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	f := field.NewF64()
+	if Eval(f, nil, 5) != 0 {
+		t.Error("Eval of empty polynomial should be 0")
+	}
+	if MulNaive(f, nil, []uint64{1}) != nil {
+		t.Error("MulNaive with empty factor should be nil")
+	}
+}

@@ -1,0 +1,78 @@
+package prg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	seed := Seed{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	a := make([]byte, 1000)
+	b := make([]byte, 1000)
+	if _, err := New(seed).Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(seed).Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different streams")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	var s1, s2 Seed
+	s2[0] = 1
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	New(s1).Read(a)
+	New(s2).Read(b)
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestChunkedReadsMatchOneShot(t *testing.T) {
+	seed, err := NewSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 256)
+	New(seed).Read(one)
+
+	g := New(seed)
+	var chunks []byte
+	for _, n := range []int{1, 3, 16, 17, 64, 155} {
+		buf := make([]byte, n)
+		g.Read(buf)
+		chunks = append(chunks, buf...)
+	}
+	if !bytes.Equal(one, chunks) {
+		t.Error("chunked reads diverge from one-shot read")
+	}
+}
+
+func TestOutputOverwritesInput(t *testing.T) {
+	seed := Seed{42}
+	buf := bytes.Repeat([]byte{0xAA}, 32)
+	New(seed).Read(buf)
+	ref := make([]byte, 32)
+	New(seed).Read(ref)
+	if !bytes.Equal(buf, ref) {
+		t.Error("Read output depends on prior buffer contents")
+	}
+}
+
+func TestNewSeedUnique(t *testing.T) {
+	a, err := NewSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two fresh seeds are equal")
+	}
+}

@@ -1,0 +1,109 @@
+package sealbox
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 1, 16, 1000, 100000} {
+		pt := bytes.Repeat([]byte{0xAB}, size)
+		box, err := Seal(pub, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(box) != size+Overhead {
+			t.Errorf("box size = %d, want %d", len(box), size+Overhead)
+		}
+		got, err := Open(priv, box)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Error("plaintext mismatch")
+		}
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := Seal(pub, []byte("secret submission"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(box); i += 7 {
+		mutated := append([]byte(nil), box...)
+		mutated[i] ^= 0x01
+		if _, err := Open(priv, mutated); err == nil {
+			t.Errorf("tampering at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestWrongRecipient(t *testing.T) {
+	pubA, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, privB, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := Seal(pubA, []byte("for A only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(privB, box); err == nil {
+		t.Error("wrong recipient opened the box")
+	}
+}
+
+func TestNondeterministic(t *testing.T) {
+	pub, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Seal(pub, []byte("x"))
+	b, _ := Seal(pub, []byte("x"))
+	if bytes.Equal(a, b) {
+		t.Error("two seals of the same message are identical")
+	}
+}
+
+func TestShortBoxRejected(t *testing.T) {
+	_, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(priv, make([]byte, Overhead-1)); err == nil {
+		t.Error("short box accepted")
+	}
+}
+
+func TestPublicKeyEncoding(t *testing.T) {
+	pub, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pub.Bytes()
+	if len(b) != 32 {
+		t.Fatalf("public key length %d", len(b))
+	}
+	back, err := ParsePublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Bytes(), b) {
+		t.Error("public key round trip failed")
+	}
+	if _, err := ParsePublicKey(b[:31]); err == nil {
+		t.Error("short public key accepted")
+	}
+}

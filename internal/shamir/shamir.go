@@ -1,0 +1,108 @@
+// Package shamir implements Shamir's threshold secret sharing over the
+// generic field interface. Appendix B of the paper sketches how Prio could
+// tolerate k faulty servers — at the cost of weakening privacy to s−k−1
+// colluders — by replacing s-out-of-s additive sharing with t-out-of-s
+// Shamir sharing; this package provides that building block (with
+// Lagrange-at-zero reconstruction from any t shares) so a deployment can
+// make the trade the paper describes.
+package shamir
+
+import (
+	"errors"
+	"io"
+
+	"prio/internal/field"
+	"prio/internal/poly"
+)
+
+// Errors returned by the sharing routines.
+var (
+	ErrThreshold = errors.New("shamir: need 1 ≤ t ≤ s and s below field size")
+	ErrTooFew    = errors.New("shamir: not enough shares to reconstruct")
+)
+
+// Share is one party's evaluation of the sharing polynomials: the value
+// vector at x-coordinate X (never zero).
+type Share[E any] struct {
+	X      E
+	Values []E
+}
+
+// Split shares the vector secret with threshold t among s parties: any t
+// shares reconstruct, any t−1 reveal nothing. Party i receives X = i+1.
+func Split[Fd field.Field[E], E any](f Fd, rnd io.Reader, secret []E, t, s int) ([]Share[E], error) {
+	if t < 1 || t > s {
+		return nil, ErrThreshold
+	}
+	shares := make([]Share[E], s)
+	for i := range shares {
+		shares[i] = Share[E]{X: f.FromUint64(uint64(i + 1)), Values: make([]E, len(secret))}
+	}
+	coeffs := make([]E, t)
+	for vi, sv := range secret {
+		// Random polynomial of degree < t with constant term = secret.
+		coeffs[0] = sv
+		for j := 1; j < t; j++ {
+			c, err := f.SampleElem(rnd)
+			if err != nil {
+				return nil, err
+			}
+			coeffs[j] = c
+		}
+		for i := range shares {
+			shares[i].Values[vi] = poly.Eval(f, coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret vector from at least t shares with
+// distinct x-coordinates, by Lagrange interpolation at zero.
+func Reconstruct[Fd field.Field[E], E any](f Fd, t int, shares []Share[E]) ([]E, error) {
+	if len(shares) < t {
+		return nil, ErrTooFew
+	}
+	use := shares[:t]
+	// Lagrange coefficients at zero: λ_i = Π_{j≠i} x_j / (x_j − x_i).
+	lambda := make([]E, t)
+	for i := range use {
+		num := f.One()
+		den := f.One()
+		for j := range use {
+			if i == j {
+				continue
+			}
+			num = f.Mul(num, use[j].X)
+			den = f.Mul(den, f.Sub(use[j].X, use[i].X))
+		}
+		if f.IsZero(den) {
+			return nil, errors.New("shamir: duplicate share coordinates")
+		}
+		lambda[i] = f.Mul(num, f.Inv(den))
+	}
+	n := len(use[0].Values)
+	out := make([]E, n)
+	for vi := 0; vi < n; vi++ {
+		acc := f.Zero()
+		for i := range use {
+			if len(use[i].Values) != n {
+				return nil, errors.New("shamir: ragged share vectors")
+			}
+			acc = f.Add(acc, f.Mul(lambda[i], use[i].Values[vi]))
+		}
+		out[vi] = acc
+	}
+	return out, nil
+}
+
+// Add folds src into dst share-wise; Shamir shares of equal x-coordinates
+// add to shares of the summed secret, so threshold aggregation works exactly
+// like the additive pipeline.
+func Add[Fd field.Field[E], E any](f Fd, dst, src Share[E]) (Share[E], error) {
+	if !f.Equal(dst.X, src.X) {
+		return Share[E]{}, errors.New("shamir: adding shares at different coordinates")
+	}
+	out := Share[E]{X: dst.X, Values: append([]E(nil), dst.Values...)}
+	field.AddVec(f, out.Values, src.Values)
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"prio/internal/field"
+)
+
+func TestSplitReconstruct(t *testing.T) {
+	f := field.NewF64()
+	secret := []uint64{42, 0, 7, field.ModulusF64 - 1}
+	for _, cfg := range []struct{ t, s int }{
+		{1, 1}, {1, 3}, {2, 3}, {3, 3}, {3, 5}, {5, 9},
+	} {
+		shares, err := Split(f, rand.Reader, secret, cfg.t, cfg.s)
+		if err != nil {
+			t.Fatalf("t=%d s=%d: %v", cfg.t, cfg.s, err)
+		}
+		if len(shares) != cfg.s {
+			t.Fatalf("got %d shares", len(shares))
+		}
+		got, err := Reconstruct(f, cfg.t, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !field.EqualVec(f, got, secret) {
+			t.Errorf("t=%d s=%d: reconstruction mismatch", cfg.t, cfg.s)
+		}
+	}
+}
+
+func TestAnySubsetOfTShares(t *testing.T) {
+	f := field.NewF64()
+	secret := []uint64{123456789}
+	const tt, s = 3, 6
+	shares, err := Split(f, rand.Reader, secret, tt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every contiguous and one scrambled subset of size t must reconstruct.
+	subsets := [][]Share[uint64]{
+		{shares[0], shares[1], shares[2]},
+		{shares[3], shares[4], shares[5]},
+		{shares[5], shares[0], shares[3]},
+		{shares[4], shares[2], shares[1]},
+	}
+	for i, sub := range subsets {
+		got, err := Reconstruct(f, tt, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != secret[0] {
+			t.Errorf("subset %d reconstructed %d", i, got[0])
+		}
+	}
+}
+
+func TestTooFewSharesRevealNothing(t *testing.T) {
+	// Statistical smoke test of privacy: reconstructing with t-1 shares
+	// (treating them as a (t-1)-threshold sharing) must NOT yield the
+	// secret except by coincidence.
+	f := field.NewF64()
+	secret := []uint64{999}
+	hits := 0
+	for i := 0; i < 20; i++ {
+		shares, err := Split(f, rand.Reader, secret, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reconstruct(f, 2, shares[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] == secret[0] {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Errorf("t-1 shares matched the secret %d/20 times", hits)
+	}
+	if _, err := Reconstruct(f, 3, nil); err == nil {
+		t.Error("Reconstruct accepted zero shares")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	f := field.NewF64()
+	a := []uint64{10, 20}
+	b := []uint64{5, 7}
+	const tt, s = 2, 4
+	as, err := Split(f, rand.Reader, a, tt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Split(f, rand.Reader, b, tt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]Share[uint64], s)
+	for i := 0; i < s; i++ {
+		sh, err := Add(f, as[i], bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum[i] = sh
+	}
+	got, err := Reconstruct(f, tt, sum[1:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 15 || got[1] != 27 {
+		t.Errorf("homomorphic sum = %v, want [15 27]", got)
+	}
+	if _, err := Add(f, as[0], bs[1]); err == nil {
+		t.Error("Add accepted mismatched coordinates")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := field.NewF64()
+	if _, err := Split(f, rand.Reader, []uint64{1}, 0, 3); err == nil {
+		t.Error("Split accepted t=0")
+	}
+	if _, err := Split(f, rand.Reader, []uint64{1}, 4, 3); err == nil {
+		t.Error("Split accepted t>s")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := field.NewF64()
+	err := quick.Check(func(vals []uint64, tRaw, sRaw uint8) bool {
+		if len(vals) == 0 || len(vals) > 8 {
+			return true
+		}
+		s := int(sRaw%6) + 1
+		tt := int(tRaw)%s + 1
+		secret := make([]uint64, len(vals))
+		for i, v := range vals {
+			secret[i] = v % field.ModulusF64
+		}
+		shares, err := Split(f, rand.Reader, secret, tt, s)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(f, tt, shares)
+		return err == nil && field.EqualVec(f, got, secret)
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package share
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"prio/internal/field"
+	"prio/internal/prg"
+)
+
+func TestSplitReconstruct(t *testing.T) {
+	f := field.NewF64()
+	for _, s := range []int{1, 2, 3, 5, 10} {
+		x, err := field.SampleVec(f, rand.Reader, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares, err := Split(f, rand.Reader, x, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shares) != s {
+			t.Fatalf("got %d shares, want %d", len(shares), s)
+		}
+		got := Reconstruct(f, shares...)
+		if !field.EqualVec(f, got, x) {
+			t.Errorf("s=%d: reconstruction mismatch", s)
+		}
+	}
+}
+
+func TestSplitReconstructQuick(t *testing.T) {
+	f := field.NewF64()
+	err := quick.Check(func(vals []uint64, sRaw uint8) bool {
+		s := int(sRaw%9) + 1
+		x := make([]uint64, len(vals))
+		for i, v := range vals {
+			x[i] = f.FromUint64(v)
+		}
+		shares, err := Split(f, rand.Reader, x, s)
+		if err != nil {
+			return false
+		}
+		return field.EqualVec(f, Reconstruct(f, shares...), x)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialSharesLookRandom(t *testing.T) {
+	// Any s-1 shares must be independent of x. Sanity check: splitting the
+	// all-zeros vector twice yields different first shares.
+	f := field.NewF64()
+	x := make([]uint64, 16)
+	a, err := Split(f, rand.Reader, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(f, rand.Reader, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field.EqualVec(f, a[0], b[0]) {
+		t.Error("first shares repeated across splits; sharing is not randomized")
+	}
+}
+
+func TestSplitDoesNotMutateInput(t *testing.T) {
+	f := field.NewF64()
+	x := []uint64{1, 2, 3, 4}
+	orig := append([]uint64(nil), x...)
+	if _, err := Split(f, rand.Reader, x, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(f, x, orig) {
+		t.Error("Split mutated its input")
+	}
+}
+
+func TestSplitSeeded(t *testing.T) {
+	f := field.NewF128()
+	x, err := field.SampleVec(f, rand.Reader, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 5} {
+		seeds, last, err := SplitSeeded(f, x, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seeds) != s-1 {
+			t.Fatalf("got %d seeds, want %d", len(seeds), s-1)
+		}
+		shares := make([][]field.U128, 0, s)
+		for _, seed := range seeds {
+			shares = append(shares, Expand(f, seed, len(x)))
+		}
+		shares = append(shares, last)
+		if !field.EqualVec(f, Reconstruct(f, shares...), x) {
+			t.Errorf("s=%d: seeded reconstruction mismatch", s)
+		}
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	f := field.NewF64()
+	seed := prg.Seed{9, 9, 9}
+	a := Expand(f, seed, 100)
+	b := Expand(f, seed, 100)
+	if !field.EqualVec(f, a, b) {
+		t.Error("Expand is not deterministic")
+	}
+	// A prefix expansion must agree with a longer one.
+	c := Expand(f, seed, 40)
+	if !field.EqualVec(f, a[:40], c) {
+		t.Error("Expand prefix mismatch")
+	}
+}
+
+func TestXorSplitReconstruct(t *testing.T) {
+	words := []uint64{0xDEADBEEF, 0, ^uint64(0), 12345}
+	for _, s := range []int{1, 2, 3, 7} {
+		shares, err := XorSplit(words, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := XorReconstruct(shares...)
+		for i := range words {
+			if got[i] != words[i] {
+				t.Errorf("s=%d: word %d = %x, want %x", s, i, got[i], words[i])
+			}
+		}
+	}
+}
+
+func TestBadShareCounts(t *testing.T) {
+	f := field.NewF64()
+	if _, err := Split(f, rand.Reader, []uint64{1}, 0); err == nil {
+		t.Error("Split accepted s=0")
+	}
+	if _, _, err := SplitSeeded(f, []uint64{1}, 0); err == nil {
+		t.Error("SplitSeeded accepted s=0")
+	}
+	if _, err := XorSplit([]uint64{1}, 0); err == nil {
+		t.Error("XorSplit accepted s=0")
+	}
+	if got := Reconstruct[field.F64, uint64](f); got != nil {
+		t.Error("Reconstruct of nothing should be nil")
+	}
+}

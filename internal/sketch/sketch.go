@@ -1,0 +1,96 @@
+// Package sketch implements the count-min sketch of Cormode and
+// Muthukrishnan, the randomized data structure behind Prio's approximate
+// counts over large domains (Appendix G, following Melis et al.). A sketch
+// with R = ⌈ln(1/δ)⌉ rows and C = ⌈e/ε⌉ columns overestimates any item's
+// count by at most ε·n except with probability δ.
+//
+// Hashing is SHA-256 over (row index, item), so clients and servers derive
+// identical positions without coordination.
+package sketch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Params fixes the sketch dimensions.
+type Params struct {
+	Rows, Cols int
+}
+
+// NewParams derives dimensions from the accuracy target: estimates are
+// within ε·n of the truth with probability 1−δ.
+func NewParams(epsilon, delta float64) Params {
+	if epsilon <= 0 || delta <= 0 || delta >= 1 {
+		panic("sketch: need epsilon > 0 and 0 < delta < 1")
+	}
+	return Params{
+		Rows: int(math.Ceil(math.Log(1 / delta))),
+		Cols: int(math.Ceil(math.E / epsilon)),
+	}
+}
+
+// Cells returns Rows·Cols, the flat size of the sketch.
+func (p Params) Cells() int { return p.Rows * p.Cols }
+
+// Index returns the column that item hashes to in the given row.
+func (p Params) Index(row int, item []byte) int {
+	h := sha256.New()
+	var rb [4]byte
+	binary.LittleEndian.PutUint32(rb[:], uint32(row))
+	h.Write(rb[:])
+	h.Write(item)
+	digest := h.Sum(nil)
+	v := binary.LittleEndian.Uint64(digest[:8])
+	return int(v % uint64(p.Cols))
+}
+
+// Positions returns the flat cell index (row·Cols + col) of item in every
+// row — the cells a client sets to one in its submission.
+func (p Params) Positions(item []byte) []int {
+	out := make([]int, p.Rows)
+	for r := 0; r < p.Rows; r++ {
+		out[r] = r*p.Cols + p.Index(r, item)
+	}
+	return out
+}
+
+// Sketch is a materialized count table, e.g. the decoded sum of client
+// submissions.
+type Sketch struct {
+	P      Params
+	Counts []uint64 // flat, row-major, length P.Cells()
+}
+
+// New returns an empty sketch.
+func New(p Params) *Sketch {
+	return &Sketch{P: p, Counts: make([]uint64, p.Cells())}
+}
+
+// FromCounts wraps an existing flat count table (must have length Cells()).
+func FromCounts(p Params, counts []uint64) *Sketch {
+	if len(counts) != p.Cells() {
+		panic("sketch: count table size mismatch")
+	}
+	return &Sketch{P: p, Counts: counts}
+}
+
+// Add inserts one occurrence of item.
+func (s *Sketch) Add(item []byte) {
+	for _, pos := range s.P.Positions(item) {
+		s.Counts[pos]++
+	}
+}
+
+// Estimate returns the count-min estimate for item: the minimum of its cells,
+// an overestimate of the true count by at most ε·n w.h.p.
+func (s *Sketch) Estimate(item []byte) uint64 {
+	min := uint64(math.MaxUint64)
+	for _, pos := range s.P.Positions(item) {
+		if s.Counts[pos] < min {
+			min = s.Counts[pos]
+		}
+	}
+	return min
+}

@@ -1,0 +1,86 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParamsFromAccuracy(t *testing.T) {
+	p := NewParams(0.1, 1.0/1024)
+	if p.Rows != 7 { // ceil(ln 1024) = ceil(6.93)
+		t.Errorf("rows = %d, want 7", p.Rows)
+	}
+	if p.Cols != 28 { // ceil(e/0.1) = ceil(27.18)
+		t.Errorf("cols = %d, want 28", p.Cols)
+	}
+	if p.Cells() != 7*28 {
+		t.Errorf("cells = %d", p.Cells())
+	}
+}
+
+func TestIndexDeterministicAndInRange(t *testing.T) {
+	p := NewParams(0.05, 0.01)
+	for r := 0; r < p.Rows; r++ {
+		a := p.Index(r, []byte("hello"))
+		b := p.Index(r, []byte("hello"))
+		if a != b {
+			t.Fatal("Index is not deterministic")
+		}
+		if a < 0 || a >= p.Cols {
+			t.Fatalf("Index out of range: %d", a)
+		}
+	}
+	// Rows must hash independently: not all rows map to the same column.
+	same := true
+	first := p.Index(0, []byte("hello"))
+	for r := 1; r < p.Rows; r++ {
+		if p.Index(r, []byte("hello")) != first {
+			same = false
+		}
+	}
+	if same {
+		t.Error("all rows hash identically")
+	}
+}
+
+func TestEstimateNeverUndercounts(t *testing.T) {
+	p := NewParams(0.1, 0.01)
+	s := New(p)
+	truth := map[string]uint64{}
+	for i := 0; i < 300; i++ {
+		item := fmt.Sprintf("item-%d", i%37)
+		s.Add([]byte(item))
+		truth[item]++
+	}
+	for item, want := range truth {
+		got := s.Estimate([]byte(item))
+		if got < want {
+			t.Errorf("estimate(%s) = %d < true count %d", item, got, want)
+		}
+		// Overestimate bounded by eps*n = 30 w.h.p.
+		if got > want+30 {
+			t.Errorf("estimate(%s) = %d overshoots %d by more than eps*n", item, got, want)
+		}
+	}
+}
+
+func TestFromCountsPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromCounts accepted wrong size")
+		}
+	}()
+	FromCounts(Params{Rows: 2, Cols: 3}, make([]uint64, 5))
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {-1, 0.1}, {0.1, 0}, {0.1, 1},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewParams(c.eps, c.delta)
+			t.Errorf("NewParams(%v,%v) did not panic", c.eps, c.delta)
+		}()
+	}
+}

@@ -1,0 +1,40 @@
+package snarkcost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGatesFormula(t *testing.T) {
+	// M + 300·s·L, per the paper's estimate.
+	if got := Gates(100, 10, 5); got != 100+300*5*10 {
+		t.Errorf("Gates = %d", got)
+	}
+	if got := Gates(0, 0, 5); got != 0 {
+		t.Errorf("Gates with empty input = %d", got)
+	}
+}
+
+func TestEstimateScalesLinearly(t *testing.T) {
+	exp := time.Microsecond
+	a := EstimateProofTime(100, 100, 5, exp)
+	b := EstimateProofTime(200, 200, 5, exp)
+	if b != 2*a {
+		t.Errorf("estimate not linear: %v vs %v", a, b)
+	}
+	if a != time.Duration(Gates(100, 100, 5))*ExpsPerGate*exp {
+		t.Errorf("estimate formula drifted")
+	}
+}
+
+func TestMeasureExpCostSane(t *testing.T) {
+	c := MeasureExpCost(4)
+	// A P-256 scalar multiplication takes somewhere between 1µs and 50ms on
+	// any machine this will ever run on.
+	if c < time.Microsecond || c > 50*time.Millisecond {
+		t.Errorf("implausible exponentiation cost %v", c)
+	}
+	if MeasureExpCost(0) <= 0 {
+		t.Error("MeasureExpCost(0) should clamp iterations and stay positive")
+	}
+}

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPPeer is a Peer over a (possibly TLS) stream connection. Calls are
+// serialized: the Prio leader issues one batch round-trip at a time per
+// server, matching the protocol's lock-step rounds.
+type TCPPeer struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	stats Stats
+}
+
+// Dial connects to a server at addr. If tlsCfg is non-nil the connection is
+// upgraded to TLS (the paper's servers communicate over TLS).
+func Dial(addr string, tlsCfg *tls.Config) (*TCPPeer, error) {
+	var conn net.Conn
+	var err error
+	if tlsCfg != nil {
+		conn, err = tls.Dial("tcp", addr, tlsCfg)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TCPPeer{conn: conn}, nil
+}
+
+// Call implements Peer.
+func (p *TCPPeer) Call(msgType byte, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		return nil, ErrClosed
+	}
+	if err := writeFrame(p.conn, msgType, payload); err != nil {
+		return nil, err
+	}
+	p.stats.add(true, frameLen(payload))
+	respType, resp, err := readFrame(p.conn)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.add(false, frameLen(resp))
+	return decodeCallResult(msgType, respType, resp)
+}
+
+// Stats implements Peer.
+func (p *TCPPeer) Stats() *Stats { return &p.stats }
+
+// Close implements Peer.
+func (p *TCPPeer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		return nil
+	}
+	err := p.conn.Close()
+	p.conn = nil
+	return err
+}
+
+// Server accepts connections and dispatches frames to a Handler.
+type Server struct {
+	ln     net.Listener
+	h      Handler
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts accepting on ln; it returns immediately and handles
+// connections on background goroutines.
+func Serve(ln net.Listener, h Handler) *Server {
+	s := &Server{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen opens a TCP listener on addr (":0" for an ephemeral port) and
+// serves h on it. If tlsCfg is non-nil the listener requires TLS.
+func Listen(addr string, tlsCfg *tls.Config, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	return Serve(ln, h), nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, tears down active connections, and waits for the
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			for {
+				msgType, payload, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				resp, herr := s.h(msgType, payload)
+				respType, body := encodeHandlerResult(msgType, resp, herr)
+				if err := writeFrame(conn, respType, body); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// SelfSignedTLS generates an in-memory certificate for host and returns the
+// matching server and client TLS configurations. Production deployments
+// would use a real PKI (the paper assumes one exists); for experiments and
+// examples a pinned self-signed certificate provides the same channel
+// properties.
+func SelfSignedTLS(host string) (serverCfg, clientCfg *tls.Config, err error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 120))
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: host, Organization: []string{"prio"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * 365 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:              []string{host},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		tmpl.IPAddresses = []net.IP{ip}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &priv.PublicKey, priv)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert := tls.Certificate{Certificate: [][]byte{der}, PrivateKey: priv}
+	pool := x509.NewCertPool()
+	parsed, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool.AddCert(parsed)
+	serverCfg = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}
+	clientCfg = &tls.Config{RootCAs: pool, ServerName: host, MinVersion: tls.VersionTLS13}
+	return serverCfg, clientCfg, nil
+}

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// echoHandler responds with the request payload reversed.
+func echoHandler(msgType byte, payload []byte) ([]byte, error) {
+	if msgType == 9 {
+		return nil, errors.New("boom")
+	}
+	out := make([]byte, len(payload))
+	for i, b := range payload {
+		out[len(payload)-1-i] = b
+	}
+	return out, nil
+}
+
+func checkPeer(t *testing.T, p Peer) {
+	t.Helper()
+	resp, err := p.Call(1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != "olleh" {
+		t.Errorf("resp = %q", resp)
+	}
+	// Error propagation.
+	if _, err := p.Call(9, []byte("x")); err == nil {
+		t.Error("remote error not propagated")
+	}
+	// Stats counted.
+	st := p.Stats().Snapshot()
+	if st.MsgsSent < 2 || st.BytesSent == 0 {
+		t.Errorf("stats not counted: %+v", st)
+	}
+}
+
+func TestMemPeer(t *testing.T) {
+	p := NewMemPeer(echoHandler)
+	checkPeer(t, p)
+	st := p.Stats().Snapshot()
+	want := uint64(1 + 4 + 5)
+	if st.BytesSent != want+uint64(1+4+1) { // "hello" + "x"
+		t.Errorf("BytesSent = %d", st.BytesSent)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call(1, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Call after close: %v", err)
+	}
+}
+
+func TestTCPPlain(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	checkPeer(t, p)
+}
+
+func TestTCPTLS(t *testing.T) {
+	serverCfg, clientCfg, err := SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0", serverCfg, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr().String(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	checkPeer(t, p)
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	big := bytes.Repeat([]byte{7}, 1<<20)
+	resp, err := p.Call(2, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != len(big) {
+		t.Errorf("resp len = %d", len(resp))
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Dial(srv.Addr().String(), nil)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer p.Close()
+			for j := 0; j < 20; j++ {
+				msg := []byte(fmt.Sprintf("c%d-%d", i, j))
+				resp, err := p.Call(1, msg)
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if len(resp) != len(msg) {
+					t.Errorf("bad response length")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLoopbackPeerNotCounted(t *testing.T) {
+	p := &LoopbackPeer{Handler: echoHandler}
+	if _, err := p.Call(1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats().Snapshot(); st.BytesSent != 0 || st.MsgsSent != 0 {
+		t.Error("loopback peer counted traffic")
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, 1, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("writeFrame oversize: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package prio is a from-scratch Go implementation of Prio, the private,
+// robust, and scalable aggregate-statistics system of Corrigan-Gibbs and
+// Boneh (NSDI 2017).
+//
+// A Prio deployment consists of a small set of servers and many clients.
+// Each client holds a private value; the servers jointly compute an
+// aggregate statistic (a sum, histogram, regression model, …) while learning
+// nothing else about any client's value as long as at least one server is
+// honest. Malicious clients cannot skew the aggregate beyond misreporting
+// their own value: every submission carries a secret-shared non-interactive
+// proof (SNIP) that the servers verify cooperatively without seeing the
+// data.
+//
+// # Quick start
+//
+// Count how many clients have a property, with two servers in one process:
+//
+//	scheme := prio.NewSum(1) // 1-bit integers: a private counter
+//	pro, _ := prio.NewProtocol(prio.Config{
+//		Scheme:  scheme,
+//		Servers: 2,
+//		Mode:    prio.ModePrio,
+//		Seal:    true,
+//	})
+//	cluster, _ := prio.NewLocalCluster(pro)
+//	client, _ := prio.NewClient(pro, cluster.PublicKeys(), nil)
+//
+//	enc, _ := scheme.Encode(1) // this client has the property
+//	sub, _ := client.BuildSubmission(enc)
+//	cluster.Leader.ProcessBatch([]*prio.Submission{sub})
+//
+//	agg, n, _ := cluster.Leader.Aggregate()
+//	total, _ := scheme.Decode(agg, int(n))
+//
+// The public API fixes the field to F64, the 64-bit FFT-friendly
+// "Goldilocks" prime, with two SNIP repetitions by default (≈2⁻⁹⁰ soundness).
+// Deployments needing a single-test 2⁻¹²⁰ bound, or the paper's exact 87-bit
+// and 265-bit evaluation fields, can instantiate the generic internal
+// packages directly; every type below is an alias into them.
+package prio
+
+import (
+	"io"
+
+	"prio/internal/afe"
+	"prio/internal/core"
+	"prio/internal/field"
+	"prio/internal/sealbox"
+	"prio/internal/transport"
+)
+
+// Element is a field element of the deployment field (F64).
+type Element = uint64
+
+// Field is the deployment field type.
+type Field = field.F64
+
+// DefaultField returns the deployment field instance.
+func DefaultField() Field { return field.NewF64() }
+
+// Mode selects how submissions are validated.
+type Mode = core.Mode
+
+// Deployment modes (Section 4, Section 4.4, and the no-robustness baseline
+// of Section 6.1).
+const (
+	// ModePrio verifies client-generated SNIPs (full Prio).
+	ModePrio = core.ModeSNIP
+	// ModePrioMPC has servers evaluate Valid themselves from client-dealt,
+	// SNIP-certified multiplication triples ("Prio-MPC").
+	ModePrioMPC = core.ModeMPC
+	// ModeNoRobustness skips validation entirely: private sums only.
+	ModeNoRobustness = core.ModeNoRobust
+)
+
+// Config describes a deployment. Scheme and Servers are required.
+type Config struct {
+	// Scheme is the aggregate statistic to compute; see the New* AFE
+	// constructors.
+	Scheme Scheme
+	// Servers is the number of aggregation servers (privacy holds if any
+	// one is honest; the paper deploys five).
+	Servers int
+	// Mode selects validation (default ModePrio... the zero value is
+	// ModeNoRobustness, so set it explicitly).
+	Mode Mode
+	// Reps is the SNIP soundness repetition count; 0 means 2, giving
+	// ≈2⁻⁹⁰ soundness over F64.
+	Reps int
+	// Seal encrypts each share to its server (on by default in examples;
+	// disable only for microbenchmarks).
+	Seal bool
+	// ChallengeEvery bounds how many submissions share one verification
+	// challenge (Appendix I; 0 means 1024).
+	ChallengeEvery int
+}
+
+// Core pipeline types, aliased from the generic engine.
+type (
+	// Protocol is the precomputed, shareable derivation of a Config.
+	Protocol = core.Protocol[field.F64, uint64]
+	// Client builds submissions.
+	Client = core.Client[field.F64, uint64]
+	// Submission is one client upload.
+	Submission = core.Submission
+	// Server is one aggregation server.
+	Server = core.Server[field.F64, uint64]
+	// Leader is the server coordinating verification.
+	Leader = core.Leader[field.F64, uint64]
+	// Cluster is an in-process deployment.
+	Cluster = core.Cluster[field.F64, uint64]
+	// ServerPublicKey encrypts client shares to one server.
+	ServerPublicKey = sealbox.PublicKey
+)
+
+// NewProtocol validates a Config and precomputes the proof systems.
+func NewProtocol(cfg Config) (*Protocol, error) {
+	reps := cfg.Reps
+	if reps == 0 {
+		reps = 2
+	}
+	return core.NewProtocol(core.Config[field.F64, uint64]{
+		Field:          field.NewF64(),
+		Scheme:         cfg.Scheme,
+		Servers:        cfg.Servers,
+		Mode:           cfg.Mode,
+		SnipReps:       reps,
+		Seal:           cfg.Seal,
+		ChallengeEvery: cfg.ChallengeEvery,
+	})
+}
+
+// NewLocalCluster starts all servers of the deployment in this process,
+// wired over byte-counted in-memory channels.
+func NewLocalCluster(pro *Protocol) (*Cluster, error) {
+	return core.NewLocalCluster(pro)
+}
+
+// NewClient builds a submission client. keys must hold each server's public
+// key (from Cluster.PublicKeys or FetchPublicKey) when cfg.Seal is set. rnd
+// defaults to crypto/rand.
+func NewClient(pro *Protocol, keys []*ServerPublicKey, rnd io.Reader) (*Client, error) {
+	return core.NewClient(pro, keys, rnd)
+}
+
+// NewServer constructs server idx of a networked deployment with a fresh
+// key pair; serve its Handler with ListenAndServe.
+func NewServer(pro *Protocol, idx int) (*Server, error) {
+	return core.NewServer[field.F64, uint64](pro, idx, nil)
+}
+
+// Listener accepts protocol connections for a Server.
+type Listener = transport.Server
+
+// ListenAndServe exposes a server on a TCP address (":0" picks a free
+// port). Pass the returned listener's Addr to peers and clients.
+func ListenAndServe(addr string, srv *Server) (*Listener, error) {
+	return transport.Listen(addr, nil, srv.Handler())
+}
+
+// ConnectLeader makes srv the deployment leader, connecting to every other
+// server by address. addrs must have one entry per server index; the entry
+// for srv itself is ignored (a loopback is used).
+func ConnectLeader(srv *Server, addrs []string) (*Leader, error) {
+	peers := make([]transport.Peer, len(addrs))
+	for i, addr := range addrs {
+		if i == srv.Index() {
+			peers[i] = &transport.LoopbackPeer{Handler: srv.Handler()}
+			continue
+		}
+		p, err := transport.Dial(addr, nil)
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = p
+	}
+	return core.NewLeader(srv, peers)
+}
+
+// FetchPublicKey retrieves a remote server's sealbox key.
+func FetchPublicKey(addr string) (*ServerPublicKey, error) {
+	p, err := transport.Dial(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	raw, err := p.Call(core.MsgPublicKey, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sealbox.ParsePublicKey(raw)
+}
+
+// Scheme is the interface all field-based aggregate statistics implement;
+// see the typed constructors in afe.go for the concrete statistics.
+type Scheme = afe.Scheme[uint64]

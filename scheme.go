@@ -1,0 +1,103 @@
+package prio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseScheme builds a Scheme from a compact textual spec, for command-line
+// tools and config files:
+//
+//	sum<b>          — b-bit integer sum            (e.g. "sum8")
+//	var<b>          — b-bit mean/variance          (e.g. "var8")
+//	bits<L>         — L-question boolean survey    (e.g. "bits434")
+//	freq<B>         — histogram over B buckets     (e.g. "freq16")
+//	ints<L>x<b>     — L integers of b bits         (e.g. "ints16x4")
+//	linreg<d>x<b>   — d-dim b-bit regression       (e.g. "linreg3x14")
+//	countmin<R>/<D> — sketch with ε=1/R, δ=2^-D    (e.g. "countmin10/10")
+//	mostpop<b>      — b-bit majority string        (e.g. "mostpop16")
+func ParseScheme(spec string) (Scheme, error) {
+	num := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("prio: bad scheme parameter %q", s)
+		}
+		return v, nil
+	}
+	two := func(s, name string) (int, int, error) {
+		parts := strings.SplitN(s, "x", 2)
+		if len(parts) != 2 {
+			return 0, 0, fmt.Errorf("prio: %s needs <a>x<b>, got %q", name, s)
+		}
+		a, err := num(parts[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := num(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		return a, b, nil
+	}
+	switch {
+	case strings.HasPrefix(spec, "sum"):
+		b, err := num(spec[3:])
+		if err != nil {
+			return nil, err
+		}
+		return NewSum(b), nil
+	case strings.HasPrefix(spec, "var"):
+		b, err := num(spec[3:])
+		if err != nil {
+			return nil, err
+		}
+		return NewVariance(b), nil
+	case strings.HasPrefix(spec, "bits"):
+		l, err := num(spec[4:])
+		if err != nil {
+			return nil, err
+		}
+		return NewBitVector(l), nil
+	case strings.HasPrefix(spec, "freq"):
+		b, err := num(spec[4:])
+		if err != nil {
+			return nil, err
+		}
+		return NewFreqCount(b), nil
+	case strings.HasPrefix(spec, "ints"):
+		l, b, err := two(spec[4:], "ints")
+		if err != nil {
+			return nil, err
+		}
+		return NewIntVector(l, b), nil
+	case strings.HasPrefix(spec, "linreg"):
+		d, b, err := two(spec[6:], "linreg")
+		if err != nil {
+			return nil, err
+		}
+		return NewLinRegUniform(d, b), nil
+	case strings.HasPrefix(spec, "countmin"):
+		parts := strings.SplitN(spec[8:], "/", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("prio: countmin needs <R>/<D>, got %q", spec)
+		}
+		r, err := num(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := num(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return NewCountMin(1/float64(r), 1/float64(uint64(1)<<uint(d))), nil
+	case strings.HasPrefix(spec, "mostpop"):
+		b, err := num(spec[7:])
+		if err != nil {
+			return nil, err
+		}
+		return NewMostPopular(b), nil
+	default:
+		return nil, fmt.Errorf("prio: unknown scheme spec %q", spec)
+	}
+}

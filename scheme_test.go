@@ -1,0 +1,159 @@
+package prio_test
+
+import (
+	"testing"
+
+	"prio"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		spec   string
+		k      int
+		kPrime int
+		m      int
+	}{
+		{"sum8", 9, 1, 8},
+		{"var4", 6, 2, 5},
+		{"bits10", 10, 10, 10},
+		{"freq4", 4, 4, 4},
+		{"ints3x4", 15, 3, 12},
+		{"linreg2x8", 2 + 2 + 3 + 2 + 24, 9, 3*8 + 3 + 2 + 1},
+		{"mostpop16", 16, 16, 16},
+	}
+	for _, c := range cases {
+		s, err := prio.ParseScheme(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if s.K() != c.k || s.KPrime() != c.kPrime || s.Circuit().M() != c.m {
+			t.Errorf("%s: K=%d K'=%d M=%d, want %d/%d/%d",
+				c.spec, s.K(), s.KPrime(), s.Circuit().M(), c.k, c.kPrime, c.m)
+		}
+	}
+	// countmin parses into the right sketch dimensions (ε=1/10, δ=2⁻¹⁰:
+	// 7 rows × 28 columns).
+	cm, err := prio.ParseScheme("countmin10/10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.K() != 7*28 {
+		t.Errorf("countmin10/10 K = %d, want 196", cm.K())
+	}
+
+	for _, bad := range []string{
+		"", "nope", "sum", "sumx", "sum0", "sum-3", "bits", "ints4",
+		"intsx4", "linreg3", "countmin10", "countmin/10", "freq-1",
+	} {
+		if _, err := prio.ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsedSchemeEndToEnd(t *testing.T) {
+	// A parsed scheme must be usable for a complete aggregation run.
+	scheme, err := prio.ParseScheme("ints4x6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := scheme.(*prio.IntVector)
+	if !ok {
+		t.Fatalf("ints spec parsed to %T", scheme)
+	}
+	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: 2, Mode: prio.ModePrio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := prio.NewLocalCluster(pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := prio.NewClient(pro, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 0, 0}
+	var subs []*prio.Submission
+	for i := 0; i < 5; i++ {
+		vals := []uint64{uint64(i), uint64(2 * i), 63, 0}
+		for j, v := range vals {
+			want[j] += v
+		}
+		enc, err := iv.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	if _, err := cluster.Leader.ProcessBatch(subs); err != nil {
+		t.Fatal(err)
+	}
+	agg, n, err := cluster.Leader.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := iv.Decode(agg, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j].Uint64() != want[j] {
+			t.Errorf("component %d = %v, want %d", j, got[j], want[j])
+		}
+	}
+}
+
+func TestPublicVarianceAndMostPopular(t *testing.T) {
+	// Exercise two more public statistics end to end.
+	variance := prio.NewVariance(8)
+	pro, err := prio.NewProtocol(prio.Config{Scheme: variance, Servers: 3, Mode: prio.ModePrio, Seal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := prio.NewLocalCluster(pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := prio.NewClient(pro, cluster.PublicKeys(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs []*prio.Submission
+	for _, v := range []uint64{10, 20, 30, 40, 50} {
+		enc, err := variance.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	accepts, err := cluster.Leader.ProcessBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range accepts {
+		if !a {
+			t.Fatalf("submission %d rejected", i)
+		}
+	}
+	agg, n, err := cluster.Leader.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, vr, err := variance.Decode(agg, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 30 || vr != 200 {
+		t.Errorf("mean=%v var=%v, want 30/200", mean, vr)
+	}
+}
