@@ -84,6 +84,54 @@ func throughputBench(b *testing.B, cluster *prio.Cluster, client *prio.Client, e
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "subs/s")
 }
 
+// BenchmarkPipelineThroughput measures the sharded aggregation pipeline:
+// submissions/s as the number of concurrent leader sessions grows, for the
+// Figure 4/5 workload (1,024-bit submissions, three servers). On an N-core
+// host throughput should scale near-linearly in min(shards, N); compare the
+// subs/s metric across the Shards sub-benchmarks. Run with:
+//
+//	go test -bench=PipelineThroughput -benchmem
+func BenchmarkPipelineThroughput(b *testing.B) {
+	const l = 1024
+	scheme := prio.NewBitVector(l)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Shards=%d", shards), func(b *testing.B) {
+			cluster, client := benchDeployment(b, scheme, 3, prio.ModePrio)
+			enc := bitEncoding(b, scheme, l)
+			// A pool of pre-built submissions recycles client work, as in
+			// throughputBench; the servers verify each Submit from scratch.
+			pool := make([]*prio.Submission, 32)
+			for i := range pool {
+				sub, err := client.BuildSubmission(enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool[i] = sub
+			}
+			pl, err := prio.NewPipeline(cluster.Leader, prio.PipelineConfig{
+				Shards:   shards,
+				MaxBatch: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pl.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pl.Submit(pool[i%len(pool)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pl.Drain()
+			b.StopTimer()
+			if st := pl.Stats(); st.Failed > 0 {
+				b.Fatalf("%d submissions failed", st.Failed)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "subs/s")
+		})
+	}
+}
+
 // BenchmarkTable2_SNIPClient measures SNIP proof generation for the 0/1
 // vector statement of Table 2 (client side).
 func BenchmarkTable2_SNIPClient(b *testing.B) {

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"prio/internal/afe"
+	"prio/internal/core"
+)
+
+// figPipeline measures the sharded-pipeline extension: cluster throughput as
+// the number of concurrent leader sessions grows, for the Figure 4/5
+// workload (1,024 one-bit integers per submission). The paper scales
+// throughput by adding leader machines (Appendix I: every server leads a
+// slice of the traffic); the pipeline applies the same idea inside one
+// process, so on an N-core host throughput should grow near-linearly until
+// the shards saturate the cores. On a single core the curve is flat — the
+// interesting column is subs/s per shard staying constant.
+func figPipeline() {
+	fmt.Println("== Pipeline: throughput vs verification shards (L = 1024, s = 3) ==")
+	fmt.Printf("GOMAXPROCS = %d\n", runtime.GOMAXPROCS(0))
+	const l = 1024
+	scheme := afe.NewBitVector(f64, l)
+	enc := randomBits(scheme, l)
+
+	subsN := 96
+	if *full {
+		subsN = 256
+	}
+	shardCounts := []int{1, 2, 4, 8}
+
+	var base float64
+	fmt.Printf("%-8s | %-12s %-12s %-10s\n", "shards", "subs/s", "per-shard", "speedup")
+	for _, shards := range shardCounts {
+		d := newDeployment(scheme, 3, core.ModeSNIP, true)
+		subs := d.buildSubs(enc, subsN)
+		rate := pipelineThroughput(d, subs, shards)
+		if base == 0 {
+			base = rate
+		}
+		fmt.Printf("%-8d | %-12.1f %-12.1f %-10s\n", shards, rate, rate/float64(shards),
+			fmt.Sprintf("%.2fx", rate/base))
+	}
+	fmt.Println("\nshape check: speedup tracks min(shards, cores) until verification")
+	fmt.Println("saturates the host; per-shard throughput stays near the serial rate.")
+}
+
+// pipelineThroughput pushes the submissions through a pipeline with the
+// given shard count and returns submissions/second.
+func pipelineThroughput(d *deployment, subs []*core.Submission, shards int) float64 {
+	pl, err := core.NewPipeline(d.cluster.Leader, core.PipelineConfig{
+		Shards:   shards,
+		MaxBatch: 16,
+	})
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	defer pl.Close()
+	start := time.Now()
+	for _, sub := range subs {
+		if err := pl.Submit(sub); err != nil {
+			log.Fatalf("prio-bench: %v", err)
+		}
+	}
+	pl.Drain()
+	elapsed := time.Since(start).Seconds()
+	if st := pl.Stats(); st.Failed > 0 {
+		log.Fatalf("prio-bench: %d submissions failed", st.Failed)
+	}
+	return float64(len(subs)) / elapsed
+}

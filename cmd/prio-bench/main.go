@@ -10,6 +10,7 @@
 //	prio-bench fig7     — client encoding time per application
 //	prio-bench fig8     — client time vs regression dimension
 //	prio-bench table9   — server throughput for d-dim regression
+//	prio-bench pipeline — throughput vs concurrent verification shards
 //	prio-bench all      — everything above, in order
 //
 // Absolute numbers differ from the paper's 2016 EC2 testbed; the shapes —
@@ -33,17 +34,18 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	experiments := map[string]func(){
-		"table2": table2,
-		"table3": table3,
-		"fig4":   fig4,
-		"fig5":   fig5,
-		"fig6":   fig6,
-		"fig7":   fig7,
-		"fig8":   fig8,
-		"table9": table9,
+		"table2":   table2,
+		"table3":   table3,
+		"fig4":     fig4,
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"table9":   table9,
+		"pipeline": figPipeline,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9"} {
+		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -57,6 +59,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|all}")
+	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|all}")
 	os.Exit(2)
 }

@@ -36,7 +36,9 @@ var (
 	schemeFlag   = flag.String("scheme", "sum8", "statistic spec (see prio.ParseScheme)")
 	servers      = flag.Int("servers", 0, "server count (default: inferred from -peers)")
 	modeFlag     = flag.String("mode", "prio", "validation mode: prio, prio-mpc, no-robust")
-	batch        = flag.Int("batch", 16, "submissions per verification batch (leader)")
+	batch        = flag.Int("batch", 16, "max submissions per verification round (leader)")
+	shards       = flag.Int("shards", 0, "concurrent verification shards (leader; 0 = one per CPU)")
+	queueDepth   = flag.Int("queue-depth", 0, "pipeline submission queue capacity (leader; 0 = 4 batches per shard)")
 	publishEvery = flag.Duration("publish-every", 30*time.Second, "aggregate publication interval (leader)")
 	once         = flag.Bool("once", false, "leader: publish once after the first interval and exit (for scripting)")
 )
@@ -80,8 +82,8 @@ func main() {
 		select {} // serve until killed
 	}
 
-	// Leader path: wrap the protocol handler so MsgSubmit enqueues client
-	// submissions, then connect to the peer servers.
+	// Leader path: wrap the protocol handler so MsgSubmit feeds the
+	// verification pipeline, then connect to the peer servers.
 	if len(peers) != n {
 		log.Fatalf("prio-server: leader needs -peers with %d entries", n)
 	}
@@ -95,10 +97,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if ready := ld.enqueue(sub, *batch); ready {
-			go ld.flush()
-		}
-		return nil, nil
+		return nil, ld.submit(sub)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,13 +108,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ld.setLeader(leader)
-	log.Printf("leader (%s, %s) listening on %s, %d servers", scheme.Name(), mode, ln.Addr(), n)
+	pl, err := prio.NewPipeline(leader, prio.PipelineConfig{
+		Shards:     *shards,
+		MaxBatch:   *batch,
+		QueueDepth: *queueDepth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pl.Close()
+	ld.start(pl)
+	log.Printf("leader (%s, %s) listening on %s, %d servers, %d shards",
+		scheme.Name(), mode, ln.Addr(), n, pl.Shards())
 
 	ticker := time.NewTicker(*publishEvery)
 	defer ticker.Stop()
 	for range ticker.C {
-		ld.flush()
 		ld.publish()
 		if *once {
 			return
@@ -136,62 +144,72 @@ func parseMode(s string) (prio.Mode, error) {
 	}
 }
 
-// leaderLoop buffers client submissions and verifies them in batches.
+// leaderLoop feeds client submissions into the verification pipeline,
+// buffering the few that arrive before the pipeline is connected.
 type leaderLoop struct {
 	scheme prio.Scheme
 
-	mu      sync.Mutex
-	leader  *prio.Leader
-	pending []*prio.Submission
+	mu       sync.Mutex
+	pipeline *prio.Pipeline
+	pending  []*prio.Submission // submissions received before start
+	lastStat prio.ShardStats
 }
 
-func (ld *leaderLoop) setLeader(l *prio.Leader) {
+// start installs the connected pipeline and flushes the pre-connect buffer.
+func (ld *leaderLoop) start(pl *prio.Pipeline) {
 	ld.mu.Lock()
-	ld.leader = l
-	ld.mu.Unlock()
-}
-
-// enqueue buffers one submission and reports whether a batch is ready.
-func (ld *leaderLoop) enqueue(sub *prio.Submission, batch int) bool {
-	ld.mu.Lock()
-	defer ld.mu.Unlock()
-	ld.pending = append(ld.pending, sub)
-	return len(ld.pending) >= batch && ld.leader != nil
-}
-
-// flush verifies all buffered submissions.
-func (ld *leaderLoop) flush() {
-	ld.mu.Lock()
-	subs := ld.pending
+	ld.pipeline = pl
+	pending := ld.pending
 	ld.pending = nil
-	leader := ld.leader
 	ld.mu.Unlock()
-	if len(subs) == 0 || leader == nil {
-		return
-	}
-	accepts, err := leader.ProcessBatch(subs)
-	if err != nil {
-		log.Printf("batch error: %v", err)
-		return
-	}
-	ok := 0
-	for _, a := range accepts {
-		if a {
-			ok++
+	for _, sub := range pending {
+		if err := pl.Submit(sub); err != nil {
+			log.Printf("submit error: %v", err)
 		}
 	}
-	log.Printf("batch: %d accepted, %d rejected", ok, len(subs)-ok)
 }
 
-// publish prints the decoded aggregate.
+// submit routes one submission into the pipeline (or the pre-connect
+// buffer). The pipeline applies backpressure by blocking when its queue is
+// full, which in turn slows the submitting client's connection.
+func (ld *leaderLoop) submit(sub *prio.Submission) error {
+	ld.mu.Lock()
+	pl := ld.pipeline
+	if pl == nil {
+		ld.pending = append(ld.pending, sub)
+		ld.mu.Unlock()
+		return nil
+	}
+	ld.mu.Unlock()
+	return pl.Submit(sub)
+}
+
+// publish quiesces the pipeline and prints the decoded aggregate plus the
+// interval's verification counters. Pipeline.Aggregate pauses intake for
+// the duration, so the published aggregate is a consistent snapshot even
+// under sustained submission traffic.
 func (ld *leaderLoop) publish() {
 	ld.mu.Lock()
-	leader := ld.leader
+	pl := ld.pipeline
 	ld.mu.Unlock()
-	if leader == nil {
+	if pl == nil {
 		return
 	}
-	agg, n, err := leader.Aggregate()
+	agg, n, err := pl.Aggregate()
+	st := pl.Stats()
+	ld.mu.Lock()
+	delta := st
+	delta.Batches -= ld.lastStat.Batches
+	delta.Processed -= ld.lastStat.Processed
+	delta.Accepted -= ld.lastStat.Accepted
+	delta.Rejected -= ld.lastStat.Rejected
+	delta.Failed -= ld.lastStat.Failed
+	ld.lastStat = st
+	ld.mu.Unlock()
+	if delta.Processed+delta.Failed > 0 {
+		log.Printf("interval: %d accepted, %d rejected, %d failed in %d rounds",
+			delta.Accepted, delta.Rejected, delta.Failed, delta.Batches)
+	}
 	if err != nil {
 		log.Printf("aggregate error: %v", err)
 		return

@@ -1,0 +1,3 @@
+module prio
+
+go 1.21

@@ -1,18 +1,3 @@
-// Package afe implements the affine-aggregatable encodings of Section 5:
-// the data-encoding layer that turns "private sum of vectors" (Section 3)
-// plus "validated submissions" (Section 4) into a library of useful
-// aggregate statistics.
-//
-// An AFE is a triple (Encode, Valid, Decode): clients encode their private
-// value as a vector in F^k, servers verify the Valid circuit with a SNIP and
-// sum the first k' components, and anyone can decode the sum of encodings
-// into the aggregate f(x_1, …, x_n).
-//
-// The field-based schemes in this package implement the Scheme interface
-// consumed by the aggregation pipeline; each also exposes typed Encode and
-// Decode methods of its own, because inputs and aggregates differ per
-// statistic. The boolean OR/AND family (Section 5.2) aggregates by XOR over
-// F_2^λ instead and lives in bool.go with a parallel XorScheme interface.
 package afe
 
 import (

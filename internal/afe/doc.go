@@ -1,0 +1,24 @@
+// Package afe implements the affine-aggregatable encodings of Section 5:
+// the data-encoding layer that turns "private sum of vectors" (Section 3)
+// plus "validated submissions" (Section 4) into a library of useful
+// aggregate statistics.
+//
+// An AFE is a triple (Encode, Valid, Decode): clients encode their private
+// value as a vector in F^k, servers verify the Valid circuit with a SNIP
+// and sum the first k' components, and anyone can decode the sum of
+// encodings into the aggregate f(x_1, …, x_n).
+//
+// The statistics of the paper's Section 5.1 and Appendix G are all here:
+// integer sums and means (Sum, IntVector), variance and stddev via moment
+// encodings (Variance), boolean counts (Bool, BitVector), frequency
+// histograms (FreqCount), the majority-string and count-min approximate
+// counting AFEs of Appendix G (MostPopular, CountMin), linear regression
+// by moment matrices (LinReg, Section 5.1 "least-squares regression",
+// Figure 8), and R² goodness-of-fit (r2.go).
+//
+// The field-based schemes implement the Scheme interface consumed by the
+// aggregation pipeline; each also exposes typed Encode and Decode methods
+// of its own, because inputs and aggregates differ per statistic. The
+// boolean OR/AND family (Section 5.2) aggregates by XOR over F_2^λ instead
+// and lives in bool.go with a parallel XorScheme interface.
+package afe

@@ -1,22 +1,3 @@
-// Package core assembles the full Prio pipeline of Section 5.1 / Appendix H:
-//
-//	Upload    — each client AFE-encodes its value, splits encoding and SNIP
-//	            proof into per-server shares (PRG-compressed, Appendix I),
-//	            seals each share to its server, and sends the submission to
-//	            the current leader.
-//	Validate  — the leader relays shares and drives the two verification
-//	            rounds; servers exchange constant-size messages per
-//	            submission (Section 4.2).
-//	Aggregate — servers add the truncated encodings of accepted submissions
-//	            into local accumulators.
-//	Publish   — accumulators are summed and decoded with the AFE.
-//
-// The same pipeline runs in three modes: full Prio (SNIP verification),
-// Prio-MPC (server-side Valid evaluation, Section 4.4), and the
-// no-robustness baseline of Section 6.1 (secret-sharing sums without
-// proofs). The modes share the transport, sharing, and accumulation code, so
-// benchmark comparisons between them isolate the cost of robustness — the
-// design of the paper's evaluation.
 package core
 
 import (

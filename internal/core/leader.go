@@ -19,9 +19,21 @@ import (
 // itself one of the servers; in processing a batch it transmits roughly s
 // times more bytes than a non-leader, which is why deployments rotate
 // leadership across servers for load balance (Figure 5).
+//
+// A Leader tolerates concurrent ProcessBatch calls: lmu serializes only
+// challenge rotation and batch-sequence allocation, while the verification
+// rounds themselves run lock-free, so independent batches overlap on the
+// wire and on the servers' cores. One caveat bounds the concurrency: the
+// servers keep a window of two challenges per session, so a session must
+// not have more than ChallengeEvery submissions in flight at once (two
+// rotations would evict an in-flight batch's challenge and fail it).
+// Pipeline stays far below this bound by construction — each shard drives
+// its own session serially; callers wanting more overlap should open more
+// sessions (NewLeaderSession) rather than hammer one.
 type Leader[Fd field.Field[E], E any] struct {
 	*Server[Fd, E]
 	peers []transport.Peer // indexed by server; peers[Index()] is a loopback
+	sess  int              // session sub-namespace (0 for NewLeader)
 
 	lmu       sync.Mutex
 	challID   uint32
@@ -40,14 +52,30 @@ type Leader[Fd field.Field[E], E any] struct {
 // Challenge and batch identifiers are namespaced by the leader's index so
 // concurrent leaders never collide in the servers' session tables.
 func NewLeader[Fd field.Field[E], E any](srv *Server[Fd, E], peers []transport.Peer) (*Leader[Fd, E], error) {
+	return NewLeaderSession(srv, peers, 0)
+}
+
+// NewLeaderSession wraps a server with coordination duties under session
+// sub-namespace sess ∈ [0, 256). Sessions extend the per-leader ID
+// namespacing one level down: challenge IDs carry (server index, session)
+// in their top 16 bits and batch IDs in their top 32, so many sessions of
+// the same leader server can verify batches concurrently without colliding
+// in the servers' challenge and batch tables. This is the mechanism behind
+// Pipeline's shards (and the Appendix-I observation that verification of
+// distinct submissions is embarrassingly parallel).
+func NewLeaderSession[Fd field.Field[E], E any](srv *Server[Fd, E], peers []transport.Peer, sess int) (*Leader[Fd, E], error) {
 	if len(peers) != srv.pro.Cfg.Servers {
 		return nil, fmt.Errorf("core: leader needs %d peers, got %d", srv.pro.Cfg.Servers, len(peers))
+	}
+	if sess < 0 || sess > 0xFF {
+		return nil, fmt.Errorf("core: leader session %d out of range [0, 256)", sess)
 	}
 	return &Leader[Fd, E]{
 		Server:   srv,
 		peers:    peers,
-		challID:  uint32(srv.idx) << 24,
-		batchSeq: uint64(srv.idx) << 48,
+		sess:     sess,
+		challID:  uint32(srv.idx)<<24 | uint32(sess)<<16,
+		batchSeq: uint64(srv.idx)<<48 | uint64(sess)<<32,
 	}, nil
 }
 
@@ -104,7 +132,9 @@ func (l *Leader[Fd, E]) same(payload []byte) [][]byte {
 }
 
 // ensureChallenge rotates the shared challenge when the Appendix-I window Q
-// is exhausted (or none exists yet).
+// is exhausted (or none exists yet). Callers must hold lmu; the counter
+// increments within the session's 16-bit slot so rotation never bleeds into
+// a neighboring session namespace.
 func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
 	if l.pro.Cfg.Mode == ModeNoRobust {
 		return nil
@@ -116,7 +146,7 @@ func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
 	if err != nil {
 		return err
 	}
-	l.challID++
+	l.challID = l.challID&0xFFFF0000 | (l.challID+1)&0xFFFF
 	w := &wbuf{}
 	w.u32(l.challID)
 	w.raw(l.pro.marshalChallenge(ch))
@@ -130,9 +160,12 @@ func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
 
 // ProcessBatch verifies and aggregates a batch of submissions, returning the
 // per-submission accept decisions.
+//
+// ProcessBatch may be called concurrently: the leader lock covers only
+// challenge rotation and batch-ID allocation, after which each batch runs
+// its verification rounds independently. Servers key their per-batch state
+// by the allocated batch ID, so overlapping batches never interfere.
 func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
-	l.lmu.Lock()
-	defer l.lmu.Unlock()
 	p := l.pro
 	f := p.Cfg.Field
 	count := len(subs)
@@ -144,18 +177,46 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 			return nil, errors.New("core: submission bundle count mismatch")
 		}
 	}
+
+	// Critical section: rotate the challenge if the window is exhausted and
+	// allocate this batch's identifiers. The three network rounds below run
+	// outside the lock so in-flight batches pipeline.
+	l.lmu.Lock()
 	if err := l.ensureChallenge(count); err != nil {
+		l.lmu.Unlock()
 		return nil, err
 	}
 	l.sinceCh += count
-	l.batchSeq++
+	// Like the challenge counter, the batch counter increments within its
+	// session's 32-bit slot so it can never wrap into a neighboring
+	// session's namespace.
+	l.batchSeq = l.batchSeq&^uint64(0xFFFFFFFF) | (l.batchSeq+1)&0xFFFFFFFF
 	batchID := l.batchSeq
+	challID := l.challID
+	l.lmu.Unlock()
+
+	// In the robust modes, Round1 seeds per-batch state on every server
+	// that completes it, and only MsgFinish releases that state. If the
+	// batch fails in any later round — or Round1 itself fails on just some
+	// servers — send a best-effort all-reject finish so a failed batch (a
+	// routine, counted outcome under the pipeline) does not leak xShares
+	// and verifier sessions on the servers that got through Round1.
+	finished := p.Cfg.Mode == ModeNoRobust // no-robust servers keep no batch state
+	defer func() {
+		if finished {
+			return
+		}
+		fw := &wbuf{}
+		fw.u64(batchID)
+		fw.blob(make([]byte, (count+7)/8))
+		_, _ = l.broadcast(MsgFinish, l.same(fw.b)) // best effort
+	}()
 
 	// Round 1: relay each server its bundles.
 	reqs := make([][]byte, p.Cfg.Servers)
 	for i := 0; i < p.Cfg.Servers; i++ {
 		w := &wbuf{}
-		w.u32(l.challID)
+		w.u32(challID)
 		w.u64(batchID)
 		w.u32(uint32(count))
 		for _, sub := range subs {
@@ -224,7 +285,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 
 	// Round 2: broadcast the opened masks, collect σ/τ shares.
 	w := &wbuf{}
-	w.u32(l.challID)
+	w.u32(challID)
 	w.u64(batchID)
 	for j := 0; j < count; j++ {
 		wvec(w, f, opened[j].D)
@@ -264,7 +325,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 				return nil, errors.New("core: MPC did not converge")
 			}
 			w := &wbuf{}
-			w.u32(l.challID)
+			w.u32(challID)
 			w.u64(batchID)
 			for j := 0; j < count; j++ {
 				w.u32(uint32(len(mpcOpened[j].D)))
@@ -312,7 +373,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 
 	// Decide and broadcast the accept bitmap.
 	l.Server.mu.Lock()
-	chSt := l.Server.challenges[l.challID]
+	chSt := l.Server.challenges[challID]
 	l.Server.mu.Unlock()
 	if chSt == nil {
 		return nil, errors.New("core: leader lost its own challenge state")
@@ -332,6 +393,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	fw := &wbuf{}
 	fw.u64(batchID)
 	fw.blob(bitmap)
+	finished = true
 	if _, err := l.broadcast(MsgFinish, l.same(fw.b)); err != nil {
 		return nil, err
 	}
@@ -340,10 +402,10 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 
 // Aggregate fetches every server's accumulator, checks that they agree on
 // the accepted count, and returns the summed aggregate (the input to the
-// AFE's Decode).
+// AFE's Decode). It takes no leader lock: callers who need a quiescent
+// snapshot (batches neither in flight nor queued) must arrange that
+// themselves, as Pipeline.Aggregate does.
 func (l *Leader[Fd, E]) Aggregate() ([]E, uint64, error) {
-	l.lmu.Lock()
-	defer l.lmu.Unlock()
 	p := l.pro
 	f := p.Cfg.Field
 	resps, err := l.broadcast(MsgAggregate, l.same(nil))
@@ -373,9 +435,9 @@ func (l *Leader[Fd, E]) Aggregate() ([]E, uint64, error) {
 }
 
 // Reset clears all servers' accumulators and sessions (benchmark epochs).
+// Concurrent in-flight batches will fail their next round after a reset;
+// quiesce first.
 func (l *Leader[Fd, E]) Reset() error {
-	l.lmu.Lock()
-	defer l.lmu.Unlock()
 	_, err := l.broadcast(MsgReset, l.same(nil))
 	return err
 }

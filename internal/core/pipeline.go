@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prio/internal/field"
+)
+
+// Pipeline is the sharded, concurrent aggregation front-end: it accepts a
+// stream of client submissions and fans them out across several leader
+// sessions that verify batches in parallel against the shared server set.
+//
+// The paper's protocol makes this legal: verification of distinct
+// submissions is independent (Section 4.2), any server may lead for a slice
+// of the traffic (Appendix I / Figure 5), and the servers' accumulators are
+// order-insensitive sums — so K concurrent leader sessions produce exactly
+// the aggregate a single serial leader would. Each session owns a private
+// (challenge, batch) ID namespace (NewLeaderSession), so sessions never
+// collide in the servers' state tables. See docs/PIPELINE.md for the design
+// write-up.
+//
+// Shape: Submit → bounded queue → K shard workers, each looping
+// (collect up to MaxBatch, ProcessBatch, record). Workers batch
+// adaptively — under light load a submission rides alone for low latency;
+// under heavy load batches fill to MaxBatch, amortizing the per-round
+// broadcasts. Over TCP, wrap peers in transport.Coalescer so concurrent
+// shards' round payloads merge onto each server connection.
+type Pipeline[Fd field.Field[E], E any] struct {
+	cfg      PipelineConfig
+	sessions []*Leader[Fd, E]
+	queue    chan pipeJob
+
+	wg     sync.WaitGroup
+	shards []ShardStats
+
+	// closeMu makes Submit's send atomic with respect to Close: senders
+	// hold the read side across the channel send (many may block there at
+	// once), Close takes the write side before closing the queue, so a
+	// send on a closed channel is impossible. Workers never touch closeMu,
+	// so they keep draining the queue and blocked senders always make
+	// progress.
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu      sync.Mutex
+	quiet   *sync.Cond // signaled when pending returns to zero
+	pending int64      // submissions accepted but not yet decided
+	err     error      // first shard failure (sticky)
+}
+
+// PipelineConfig tunes a Pipeline. The zero value gives one shard per CPU,
+// batches of up to 16, and a queue of 4 batches per shard.
+type PipelineConfig struct {
+	// Shards is the number of concurrent leader sessions (1–255;
+	// default GOMAXPROCS, the paper's "one leader slice per core").
+	Shards int
+	// MaxBatch bounds how many submissions one verification round covers
+	// (default 16, the batch size the seed's benchmarks use).
+	MaxBatch int
+	// QueueDepth is the submission queue capacity; Submit blocks when the
+	// queue is full, providing backpressure (default 4·Shards·MaxBatch).
+	QueueDepth int
+}
+
+// withDefaults resolves the zero values.
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Shards == 0 {
+		// Clamp so the default never violates the 255-session namespace
+		// limit on very wide hosts.
+		c.Shards = min(runtime.GOMAXPROCS(0), 0xFF)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Shards * c.MaxBatch
+	}
+	return c
+}
+
+// ShardStats counts one shard's work. Merged stats describe the whole
+// pipeline; the Accepted total is cross-checked against the servers'
+// accumulators in Pipeline.Aggregate.
+type ShardStats struct {
+	Batches   uint64 // verification rounds driven
+	Processed uint64 // submissions decided
+	Accepted  uint64 // submissions whose shares entered the accumulators
+	Rejected  uint64 // submissions refused by SNIP/MPC verification
+	Failed    uint64 // submissions lost to batch-level errors
+}
+
+// merge adds o into s.
+func (s *ShardStats) merge(o ShardStats) {
+	s.Batches += o.Batches
+	s.Processed += o.Processed
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Failed += o.Failed
+}
+
+// pipeJob is one queued submission with an optional completion channel.
+type pipeJob struct {
+	sub *Submission
+	res chan<- SubmitResult
+}
+
+// SubmitResult reports one submission's outcome to a SubmitWait caller.
+type SubmitResult struct {
+	// Accepted is true when the servers verified the submission and added
+	// its shares to their accumulators.
+	Accepted bool
+	// Err is set when the whole batch failed before a decision was made.
+	Err error
+}
+
+// NewPipeline builds a pipeline in front of leader's server set and starts
+// its shard workers. It opens cfg.Shards leader sessions that share
+// leader's peers, so the peers must tolerate concurrent Calls (every
+// transport.Peer does; wrap TCP peers in transport.Coalescer to also merge
+// the concurrent rounds into batched frames).
+//
+// Sessions are numbered from 1 so the caller's own leader (session 0)
+// keeps its ID namespace to itself.
+func NewPipeline[Fd field.Field[E], E any](leader *Leader[Fd, E], cfg PipelineConfig) (*Pipeline[Fd, E], error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 || cfg.Shards > 0xFF {
+		return nil, fmt.Errorf("core: pipeline needs 1–255 shards, got %d", cfg.Shards)
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("core: pipeline MaxBatch must be positive, got %d", cfg.MaxBatch)
+	}
+	p := &Pipeline[Fd, E]{
+		cfg:    cfg,
+		queue:  make(chan pipeJob, cfg.QueueDepth),
+		shards: make([]ShardStats, cfg.Shards),
+	}
+	p.quiet = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.Shards; i++ {
+		sess, err := NewLeaderSession(leader.Server, leader.peers, i+1)
+		if err != nil {
+			return nil, err
+		}
+		p.sessions = append(p.sessions, sess)
+	}
+	p.wg.Add(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		go p.shardLoop(i)
+	}
+	return p, nil
+}
+
+// Submit enqueues one submission, blocking when the queue is full
+// (backpressure toward the ingest edge). It returns an error only when the
+// pipeline is closed; verification outcomes are counted in Stats.
+func (p *Pipeline[Fd, E]) Submit(sub *Submission) error {
+	return p.submit(pipeJob{sub: sub})
+}
+
+// SubmitWait enqueues one submission and blocks for its individual accept
+// decision — the client-facing path, where the submitter wants to know its
+// contribution landed.
+func (p *Pipeline[Fd, E]) SubmitWait(sub *Submission) (bool, error) {
+	res := make(chan SubmitResult, 1)
+	if err := p.submit(pipeJob{sub: sub, res: res}); err != nil {
+		return false, err
+	}
+	r := <-res
+	return r.Accepted, r.Err
+}
+
+// submit guards the queue against closure.
+func (p *Pipeline[Fd, E]) submit(job pipeJob) error {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return errors.New("core: pipeline is closed")
+	}
+	p.mu.Lock()
+	p.pending++
+	p.mu.Unlock()
+	p.queue <- job
+	return nil
+}
+
+// settle retires n decided submissions, waking Drain when the pipeline goes
+// quiet.
+func (p *Pipeline[Fd, E]) settle(n int) {
+	p.mu.Lock()
+	p.pending -= int64(n)
+	if p.pending == 0 {
+		p.quiet.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// shardLoop is one worker: block for a job, opportunistically drain more up
+// to MaxBatch, verify, record, repeat. The drain is what makes batching
+// adaptive: an idle pipeline verifies singletons immediately, a saturated
+// one fills every round.
+func (p *Pipeline[Fd, E]) shardLoop(i int) {
+	defer p.wg.Done()
+	sess := p.sessions[i]
+	st := &p.shards[i]
+	jobs := make([]pipeJob, 0, p.cfg.MaxBatch)
+	subs := make([]*Submission, 0, p.cfg.MaxBatch)
+	for {
+		job, ok := <-p.queue
+		if !ok {
+			return
+		}
+		jobs = append(jobs[:0], job)
+	drain:
+		for len(jobs) < p.cfg.MaxBatch {
+			select {
+			case job, ok := <-p.queue:
+				if !ok {
+					break drain
+				}
+				jobs = append(jobs, job)
+			default:
+				break drain
+			}
+		}
+
+		subs = subs[:0]
+		for _, j := range jobs {
+			subs = append(subs, j.sub)
+		}
+		accepts, err := sess.ProcessBatch(subs)
+
+		// Counters are written with atomics so Stats can snapshot them
+		// while the shard runs.
+		atomic.AddUint64(&st.Batches, 1)
+		if err != nil {
+			atomic.AddUint64(&st.Failed, uint64(len(jobs)))
+			p.recordErr(err)
+			for _, j := range jobs {
+				if j.res != nil {
+					j.res <- SubmitResult{Err: err}
+				}
+			}
+			p.settle(len(jobs))
+			continue
+		}
+		atomic.AddUint64(&st.Processed, uint64(len(jobs)))
+		for k, j := range jobs {
+			if accepts[k] {
+				atomic.AddUint64(&st.Accepted, 1)
+			} else {
+				atomic.AddUint64(&st.Rejected, 1)
+			}
+			if j.res != nil {
+				j.res <- SubmitResult{Accepted: accepts[k]}
+			}
+		}
+		p.settle(len(jobs))
+	}
+}
+
+// recordErr keeps the first batch-level failure for Close to return.
+func (p *Pipeline[Fd, E]) recordErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Drain blocks until every submission accepted so far has been decided. The
+// pipeline stays open; use it to quiesce before reading an aggregate
+// mid-run.
+func (p *Pipeline[Fd, E]) Drain() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.quiet.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops intake, waits for the shards to finish every queued
+// submission, and returns the first batch-level error (nil when every batch
+// completed its rounds — individual rejections are not errors).
+func (p *Pipeline[Fd, E]) Close() error {
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats merges the per-shard counters. It is safe to call while the
+// pipeline runs; the snapshot is advisory until the pipeline is drained.
+func (p *Pipeline[Fd, E]) Stats() ShardStats {
+	var out ShardStats
+	for i := range p.shards {
+		out.merge(p.loadShard(i))
+	}
+	return out
+}
+
+// ShardStatsAt returns one shard's counters (benchmark introspection).
+func (p *Pipeline[Fd, E]) ShardStatsAt(i int) ShardStats { return p.loadShard(i) }
+
+// loadShard reads a shard's counters with atomic loads, since its worker
+// may still be writing them.
+func (p *Pipeline[Fd, E]) loadShard(i int) ShardStats {
+	s := &p.shards[i]
+	return ShardStats{
+		Batches:   atomic.LoadUint64(&s.Batches),
+		Processed: atomic.LoadUint64(&s.Processed),
+		Accepted:  atomic.LoadUint64(&s.Accepted),
+		Rejected:  atomic.LoadUint64(&s.Rejected),
+		Failed:    atomic.LoadUint64(&s.Failed),
+	}
+}
+
+// Shards returns the configured shard count.
+func (p *Pipeline[Fd, E]) Shards() int { return p.cfg.Shards }
+
+// Aggregate quiesces the pipeline and merges the per-shard results into
+// the final aggregate: it pauses intake (Submit blocks for the duration),
+// waits for every in-flight submission to be decided, then fetches and
+// sums the servers' accumulators and cross-checks the servers' accepted
+// count against the shards' own tallies — a cheap end-to-end consistency
+// check that every accepted submission landed exactly once. Pausing intake
+// is what makes the snapshot consistent: no batch can finish on one server
+// before the accumulator fetch and on another after it.
+func (p *Pipeline[Fd, E]) Aggregate() ([]E, uint64, error) {
+	// Taking the write side of closeMu blocks new Submits and waits out
+	// any sender mid-enqueue; the shard workers (which never touch
+	// closeMu) then drain the queue to zero.
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	p.Drain()
+	agg, n, err := p.sessions[0].Aggregate()
+	if err != nil {
+		return nil, 0, err
+	}
+	if want := p.Stats().Accepted; n != want {
+		return nil, 0, fmt.Errorf("core: servers accumulated %d submissions, shards accepted %d", n, want)
+	}
+	return agg, n, nil
+}

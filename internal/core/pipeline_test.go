@@ -1,0 +1,426 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"prio/internal/afe"
+	"prio/internal/field"
+	"prio/internal/sealbox"
+	"prio/internal/transport"
+)
+
+// sumSequential computes the reference aggregate for values with a fresh
+// serial deployment.
+func sumSequential(t *testing.T, mode Mode, servers int, values []uint64) uint64 {
+	t.Helper()
+	_, cl, client, scheme := newSumDeployment(t, mode, servers, true)
+	var subs []*Submission
+	for _, v := range values {
+		enc, err := scheme.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	if _, err := cl.Leader.ProcessBatch(subs); err != nil {
+		t.Fatal(err)
+	}
+	agg, n, err := cl.Leader.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(values)) {
+		t.Fatalf("sequential accepted %d of %d", n, len(values))
+	}
+	got, err := scheme.Decode(agg, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.Uint64()
+}
+
+// TestConcurrentLeadersMatchSequential runs several leader sessions against
+// one shared server set from concurrent goroutines and checks the merged
+// aggregate equals what a single serial leader computes — the protocol-level
+// guarantee (Appendix I) behind the pipeline. Run under -race.
+func TestConcurrentLeadersMatchSequential(t *testing.T) {
+	const (
+		leaders   = 4
+		perLeader = 6
+		servers   = 3
+	)
+	for _, mode := range []Mode{ModeSNIP, ModeMPC, ModeNoRobust} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, cl, client, scheme := newSumDeployment(t, mode, servers, true)
+
+			// ≥4 concurrent leader sessions sharing cl's server set.
+			var sessions []*Leader[field.F64, uint64]
+			for i := 0; i < leaders; i++ {
+				ld, err := NewLeaderSession(cl.Leader.Server, cl.Leader.peers, i+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sessions = append(sessions, ld)
+			}
+
+			var values []uint64
+			for i := 0; i < leaders*perLeader; i++ {
+				values = append(values, uint64(i*7%256))
+			}
+			var want uint64
+			for _, v := range values {
+				want += v
+			}
+			subs := make([]*Submission, len(values))
+			for i, v := range values {
+				enc, err := scheme.Encode(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs[i], err = client.BuildSubmission(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make([]error, leaders)
+			for i, ld := range sessions {
+				wg.Add(1)
+				go func(i int, ld *Leader[field.F64, uint64]) {
+					defer wg.Done()
+					// Each session verifies its slice in two batches so
+					// rotation and batching interleave across sessions.
+					slice := subs[i*perLeader : (i+1)*perLeader]
+					for off := 0; off < len(slice); off += 2 {
+						accepts, err := ld.ProcessBatch(slice[off : off+2])
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						for _, ok := range accepts {
+							if !ok {
+								t.Errorf("leader %d: honest submission rejected", i)
+							}
+						}
+					}
+				}(i, ld)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("leader %d: %v", i, err)
+				}
+			}
+
+			agg, n, err := sessions[0].Aggregate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != uint64(len(values)) {
+				t.Fatalf("accepted %d of %d", n, len(values))
+			}
+			got, err := scheme.Decode(agg, int(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Uint64() != want {
+				t.Errorf("concurrent aggregate = %d, want %d", got.Uint64(), want)
+			}
+			if seq := sumSequential(t, mode, servers, values); seq != got.Uint64() {
+				t.Errorf("concurrent aggregate %d != sequential %d", got.Uint64(), seq)
+			}
+		})
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	for _, mode := range []Mode{ModeSNIP, ModeMPC, ModeNoRobust} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, cl, client, scheme := newSumDeployment(t, mode, 3, true)
+			pl, err := NewPipeline(cl.Leader, PipelineConfig{Shards: 4, MaxBatch: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const n = 40
+			var want uint64
+			for i := 0; i < n; i++ {
+				v := uint64(i % 250)
+				want += v
+				enc, err := scheme.Encode(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sub, err := client.BuildSubmission(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pl.Submit(sub); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			agg, count, err := pl.Aggregate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Fatalf("accepted %d of %d", count, n)
+			}
+			got, err := scheme.Decode(agg, int(count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Uint64() != want {
+				t.Errorf("aggregate = %d, want %d", got.Uint64(), want)
+			}
+
+			st := pl.Stats()
+			if st.Processed != n || st.Accepted != n || st.Rejected != 0 || st.Failed != 0 {
+				t.Errorf("stats = %+v", st)
+			}
+			if err := pl.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pl.Submit(nil); err == nil {
+				t.Error("Submit after Close succeeded")
+			}
+		})
+	}
+}
+
+// TestChallengeWindowWrapStaysInNamespace regresses the eviction arithmetic
+// of handleSetChallenge: when a session's 16-bit challenge counter wraps,
+// the window eviction must stay inside that session's namespace instead of
+// deleting a neighbor's live challenge.
+func TestChallengeWindowWrapStaysInNamespace(t *testing.T) {
+	pro, cl, _, _ := newSumDeployment(t, ModeSNIP, 1, false)
+	srv := cl.Servers[0]
+	set := func(id uint32) {
+		ch, err := pro.newChallenge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &wbuf{}
+		w.u32(id)
+		w.raw(pro.marshalChallenge(ch))
+		if _, err := srv.handleSetChallenge(w.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	neighbor := uint32(0x0002FFFF) // session 2's newest challenge
+	set(neighbor)
+	set(0x00030000) // session 3 wraps its counter to 0…
+	set(0x00030001) // …and rotates again: evicts 0x0003FFFF, not 0x0002FFFF
+	srv.mu.Lock()
+	_, ok := srv.challenges[neighbor]
+	srv.mu.Unlock()
+	if !ok {
+		t.Error("session 3's wrap evicted session 2's live challenge")
+	}
+}
+
+// TestFailedBatchReleasesServerState regresses the abort path: when a batch
+// fails after Round1 seeded per-batch state on some servers, the leader's
+// best-effort all-reject finish must release that state instead of leaking
+// it (failed batches are a routine counted outcome under the pipeline).
+func TestFailedBatchReleasesServerState(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 3, false)
+	enc, err := scheme.Encode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.BuildSubmission(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt server 2's bundle: servers 0 and 1 complete Round1 and store
+	// batch state; server 2 errors, failing the whole batch.
+	sub.Bundles[2] = []byte{0x7F, 9, 9}
+	if _, err := cl.Leader.ProcessBatch([]*Submission{sub}); err == nil {
+		t.Fatal("corrupt bundle did not fail the batch")
+	}
+	for i, srv := range cl.Servers {
+		srv.mu.Lock()
+		n := len(srv.batches)
+		srv.mu.Unlock()
+		if n != 0 {
+			t.Errorf("server %d leaked %d batch states after failed batch", i, n)
+		}
+	}
+	if srv := cl.Servers[0]; srv.accCount != 0 {
+		t.Errorf("abort finish accumulated %d submissions", srv.accCount)
+	}
+}
+
+// TestPipelineSubmitWait checks the per-submission decision path, including
+// a malicious submission rejected mid-stream.
+func TestPipelineSubmitWait(t *testing.T) {
+	f := field.NewF64()
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 3, true)
+	pl, err := NewPipeline(cl.Leader, PipelineConfig{Shards: 3, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	var wg sync.WaitGroup
+	const honest = 9
+	results := make([]bool, honest+1)
+	rerrs := make([]error, honest+1)
+	for i := 0; i < honest; i++ {
+		enc, err := scheme.Encode(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sub *Submission) {
+			defer wg.Done()
+			results[i], rerrs[i] = pl.SubmitWait(sub)
+		}(i, sub)
+	}
+	evil := make([]uint64, scheme.K())
+	evil[0] = f.FromUint64(1 << 40)
+	evilSub, err := client.BuildSubmission(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[honest], rerrs[honest] = pl.SubmitWait(evilSub)
+	}()
+	wg.Wait()
+
+	for i := 0; i < honest; i++ {
+		if rerrs[i] != nil {
+			t.Fatalf("submission %d: %v", i, rerrs[i])
+		}
+		if !results[i] {
+			t.Errorf("honest submission %d rejected", i)
+		}
+	}
+	if rerrs[honest] != nil {
+		t.Fatalf("evil submission: %v", rerrs[honest])
+	}
+	if results[honest] {
+		t.Error("malicious submission accepted")
+	}
+	st := pl.Stats()
+	if st.Accepted != honest || st.Rejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPipelineOverCoalescedTCP runs the pipeline against real TCP servers
+// with coalescing peers — the deployment shape of cmd/prio-server.
+func TestPipelineOverCoalescedTCP(t *testing.T) {
+	const nServers = 3
+	f := field.NewF64()
+	scheme := afe.NewSum(f, 8)
+	pro, err := NewProtocol(Config[field.F64, uint64]{
+		Field:    f,
+		Scheme:   scheme,
+		Servers:  nServers,
+		Mode:     ModeSNIP,
+		SnipReps: 2,
+		Seal:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make([]*Server[field.F64, uint64], nServers)
+	addrs := make([]string, nServers)
+	for i := range servers {
+		srv, err := NewServer(pro, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		ln, err := transport.Listen("127.0.0.1:0", nil, srv.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+	}
+
+	peers := make([]transport.Peer, nServers)
+	for i, addr := range addrs {
+		if i == 0 {
+			peers[i] = &transport.LoopbackPeer{Handler: servers[0].Handle}
+			continue
+		}
+		tp, err := transport.Dial(addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := transport.NewCoalescer(tp)
+		defer c.Close()
+		peers[i] = c
+	}
+	leader, err := NewLeader(servers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := make([]*sealbox.PublicKey, nServers)
+	for i, srv := range servers {
+		keys[i] = srv.PublicKey()
+	}
+	client, err := NewClient(pro, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := NewPipeline(leader, PipelineConfig{Shards: 4, MaxBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	var want uint64
+	for i := 0; i < n; i++ {
+		v := uint64(i * 5 % 256)
+		want += v
+		enc, err := scheme.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, count, err := pl.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("accepted %d of %d", count, n)
+	}
+	got, err := scheme.Decode(agg, int(count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != want {
+		t.Errorf("aggregate = %d, want %d", got.Uint64(), want)
+	}
+}

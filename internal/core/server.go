@@ -25,7 +25,7 @@ type Server[Fd field.Field[E], E any] struct {
 
 	mu         sync.Mutex
 	challenges map[uint32]*challState[Fd, E]
-	lastChall  uint32
+	lastChall  map[uint32]uint32 // newest challenge ID per leader-session namespace
 	batches    map[uint64]*batchState[Fd, E]
 	acc        []E
 	accCount   uint64
@@ -65,6 +65,7 @@ func NewServer[Fd field.Field[E], E any](pro *Protocol[Fd, E], idx int, priv *se
 		priv:       priv,
 		pub:        priv.Public(),
 		challenges: make(map[uint32]*challState[Fd, E]),
+		lastChall:  make(map[uint32]uint32),
 		batches:    make(map[uint64]*batchState[Fd, E]),
 	}
 	s.resetLocked()
@@ -132,10 +133,21 @@ func (s *Server[Fd, E]) handleSetChallenge(payload []byte) ([]byte, error) {
 	if sys := s.pro.snipSys(); sys != nil {
 		st.ev = sys.NewEvaluator(ch.sn)
 	}
+	// Challenge IDs carry their leader session in the top 16 bits; each
+	// session keeps a window of two live challenges (the newest plus its
+	// predecessor, which in-flight batches may still reference), so
+	// concurrent leader sessions rotate independently without evicting one
+	// another's verification state.
+	ns := id >> 16
 	s.mu.Lock()
 	s.challenges[id] = st
-	delete(s.challenges, s.lastChall-1) // keep a window of two
-	s.lastChall = id
+	if prev, ok := s.lastChall[ns]; ok && prev != id {
+		// Evict prev's predecessor within the namespace. The counter is
+		// masked to 16 bits (matching ensureChallenge's increment) so a
+		// wrapping session never deletes a neighboring namespace's slot.
+		delete(s.challenges, ns<<16|(prev-1)&0xFFFF)
+	}
+	s.lastChall[ns] = id
 	s.mu.Unlock()
 	return nil, nil
 }

@@ -1,0 +1,29 @@
+// Package field provides the finite-field arithmetic that underlies every
+// other component of this Prio implementation: secret sharing (Section 3),
+// polynomial identities and SNIP proofs (Section 4.2), and the
+// affine-aggregatable encodings of Section 5 all operate on vectors of
+// field elements.
+//
+// The package exposes a generic Field[E] interface with four concrete
+// instantiations:
+//
+//   - F64:  the 64-bit "Goldilocks" prime 2^64 - 2^32 + 1 (two-adicity 32).
+//     This is the hot-path field; elements are plain uint64 values.
+//   - F128: a 128-bit FFT-friendly prime (two-adicity 66) with elements in
+//     Montgomery form. Use it when a single SNIP identity test must have
+//     ~2^-120 soundness error, as the paper recommends (Section 4.3,
+//     |F| ~ 2^128).
+//   - FP:   an arbitrary-prime field backed by math/big. It is slow but
+//     flexible; the benchmark harness uses it to realize the paper's 87-bit
+//     and 265-bit field configurations (Table 3).
+//   - F2:   GF(2). It exists for the boolean OR/AND encodings of Section 5.2
+//     and for exercising generic code at the smallest possible field.
+//
+// Implementations are small value types (often zero-sized) so that generic
+// code instantiated on a concrete Field compiles to direct calls; the
+// throughput figures (Figures 4, 5 and the pipeline benchmark) depend on
+// F64 staying allocation-free on its hot paths.
+//
+// All arithmetic is constant-time-ish but NOT hardened against side
+// channels; this is a research system, matching the paper's prototype.
+package field

@@ -1,22 +1,3 @@
-// Package snip implements secret-shared non-interactive proofs, the core
-// cryptographic contribution of the Prio paper (Section 4).
-//
-// A client holding x ∈ F^L proves to s servers — each holding only an
-// additive share of x — that Valid(x) holds for a public arithmetic circuit,
-// without revealing anything else about x. The proof consists of:
-//
-//   - shares of f(ω⁰) and g(ω⁰), the random anchors of the two polynomials
-//     that interpolate the left/right inputs of every multiplication gate;
-//   - shares of h = f·g in point-value form over a 2N-point root-of-unity
-//     domain (so verifiers never interpolate — Appendix I, optimization 2);
-//   - shares of one Beaver multiplication triple per soundness repetition.
-//
-// Verification is the Schwartz-Zippel polynomial identity test of Section
-// 4.2, executed over shares with Beaver's MPC multiplication (Appendix C.2),
-// plus a random-linear-combination check that all assertion wires are zero
-// (Appendix I, circuit optimization). Each server transmits a constant
-// number of field elements per submission, independent of |x| and of the
-// circuit size — the property measured in Figure 6.
 package snip
 
 import (

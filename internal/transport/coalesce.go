@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MsgBatched is the reserved envelope type for coalesced requests: a single
+// frame carrying several independent protocol messages. Coalescer emits it,
+// BatchHandler (installed automatically by Serve) unwraps it. Application
+// message types must stay below it.
+const MsgBatched byte = 0xFE
+
+// errBatch reports a malformed coalescing envelope.
+var errBatch = errors.New("transport: malformed batched envelope")
+
+// Envelope wire format (little-endian):
+//
+//	request:  u32 count, then per entry: u8 msgType, u32 len, payload
+//	response: u32 count, then per entry: u8 status (1 ok, 0 error), u32 len, body
+//
+// Per-entry handler failures travel as status-0 bodies holding the error
+// string, so one bad request in an envelope does not poison its siblings.
+
+// pendingCall is one caller waiting inside a Coalescer.
+type pendingCall struct {
+	msgType byte
+	payload []byte
+	done    chan struct{}
+	resp    []byte
+	err     error
+}
+
+// Coalescer wraps a Peer so that Calls issued concurrently coalesce into a
+// single MsgBatched frame on the underlying connection. The Prio pipeline
+// runs many leader sessions against the same server set; without
+// coalescing, each session's Round1/Round2 would queue head-to-tail on the
+// per-server TCP connection (TCPPeer serializes Calls). With it, all rounds
+// in flight at flush time ride one round-trip, which is what lets shard
+// throughput scale past a single connection's request rate.
+//
+// A lone Call passes straight through to the underlying peer, so wrapping a
+// serial leader costs nothing.
+type Coalescer struct {
+	peer Peer
+
+	mu      sync.Mutex
+	pending []*pendingCall
+	active  bool
+}
+
+// NewCoalescer wraps p. The wrapped peer's server must understand
+// MsgBatched envelopes (transport.Serve installs BatchHandler, so every TCP
+// server does; for in-memory peers wrap the handler explicitly).
+func NewCoalescer(p Peer) *Coalescer { return &Coalescer{peer: p} }
+
+// Call implements Peer. The first caller to find no flush in progress
+// becomes the flusher: it repeatedly drains everything queued — its own
+// request included — into batched frames until the queue is empty, while
+// other callers just park on their response.
+func (c *Coalescer) Call(msgType byte, payload []byte) ([]byte, error) {
+	pc := &pendingCall{msgType: msgType, payload: payload, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, pc)
+	if c.active {
+		c.mu.Unlock()
+		<-pc.done
+		return pc.resp, pc.err
+	}
+	c.active = true
+	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		batch := c.pending
+		c.pending = nil
+		if len(batch) == 0 {
+			c.active = false
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		c.flush(batch)
+	}
+	// pc was queued before this goroutine became the flusher, so it is
+	// already resolved by the loop above.
+	<-pc.done
+	return pc.resp, pc.err
+}
+
+// flush issues one underlying round-trip for the batch and distributes the
+// results.
+func (c *Coalescer) flush(batch []*pendingCall) {
+	if len(batch) == 1 {
+		pc := batch[0]
+		pc.resp, pc.err = c.peer.Call(pc.msgType, pc.payload)
+		close(pc.done)
+		return
+	}
+	req := encodeBatchRequest(batch)
+	resp, err := c.peer.Call(MsgBatched, req)
+	if err != nil {
+		for _, pc := range batch {
+			pc.err = err
+			close(pc.done)
+		}
+		return
+	}
+	decodeBatchResponse(resp, batch)
+	for _, pc := range batch {
+		close(pc.done)
+	}
+}
+
+// Stats implements Peer, exposing the underlying peer's counters (so byte
+// accounting reflects what actually crossed the wire, envelopes included).
+func (c *Coalescer) Stats() *Stats { return c.peer.Stats() }
+
+// Close implements Peer.
+func (c *Coalescer) Close() error { return c.peer.Close() }
+
+// encodeBatchRequest packs the batch into one envelope payload.
+func encodeBatchRequest(batch []*pendingCall) []byte {
+	n := 4
+	for _, pc := range batch {
+		n += 1 + 4 + len(pc.payload)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(batch)))
+	for _, pc := range batch {
+		b = append(b, pc.msgType)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(pc.payload)))
+		b = append(b, pc.payload...)
+	}
+	return b
+}
+
+// decodeBatchResponse unpacks a response envelope into the batch's pending
+// calls.
+func decodeBatchResponse(resp []byte, batch []*pendingCall) {
+	fail := func() {
+		for _, pc := range batch {
+			if pc.err == nil && pc.resp == nil {
+				pc.err = errBatch
+			}
+		}
+	}
+	if len(resp) < 4 || binary.LittleEndian.Uint32(resp) != uint32(len(batch)) {
+		fail()
+		return
+	}
+	off := 4
+	for _, pc := range batch {
+		if off+5 > len(resp) {
+			fail()
+			return
+		}
+		status := resp[off]
+		n := int(binary.LittleEndian.Uint32(resp[off+1:]))
+		off += 5
+		if n < 0 || off+n > len(resp) {
+			fail()
+			return
+		}
+		body := resp[off : off+n]
+		off += n
+		if status == 1 {
+			pc.resp = body
+		} else {
+			pc.err = fmt.Errorf("transport: remote error: %s", body)
+		}
+	}
+	if off != len(resp) {
+		fail()
+	}
+}
+
+// BatchHandler wraps h so it additionally understands MsgBatched envelopes.
+// The entries of an envelope are dispatched concurrently — they are
+// independent requests that happened to share a frame — which recovers
+// multicore parallelism even when every leader session funnels through one
+// connection. Handlers must be safe for concurrent use (the Handler
+// contract already requires this).
+func BatchHandler(h Handler) Handler {
+	return func(msgType byte, payload []byte) ([]byte, error) {
+		if msgType != MsgBatched {
+			return h(msgType, payload)
+		}
+		if len(payload) < 4 {
+			return nil, errBatch
+		}
+		count := int(binary.LittleEndian.Uint32(payload))
+		if count < 0 || count > 1<<16 {
+			return nil, errBatch
+		}
+		types := make([]byte, count)
+		payloads := make([][]byte, count)
+		off := 4
+		for i := 0; i < count; i++ {
+			if off+5 > len(payload) {
+				return nil, errBatch
+			}
+			types[i] = payload[off]
+			n := int(binary.LittleEndian.Uint32(payload[off+1:]))
+			off += 5
+			if n < 0 || off+n > len(payload) {
+				return nil, errBatch
+			}
+			payloads[i] = payload[off : off+n]
+			off += n
+		}
+		if off != len(payload) {
+			return nil, errBatch
+		}
+
+		resps := make([][]byte, count)
+		errs := make([]error, count)
+		var wg sync.WaitGroup
+		for i := 0; i < count; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = h(types[i], payloads[i])
+			}(i)
+		}
+		wg.Wait()
+
+		n := 4
+		for i := range resps {
+			body := resps[i]
+			if errs[i] != nil {
+				body = []byte(errs[i].Error())
+			}
+			n += 5 + len(body)
+		}
+		out := make([]byte, 0, n)
+		out = binary.LittleEndian.AppendUint32(out, uint32(count))
+		for i := range resps {
+			if errs[i] != nil {
+				out = append(out, 0)
+				msg := errs[i].Error()
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(msg)))
+				out = append(out, msg...)
+			} else {
+				out = append(out, 1)
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(resps[i])))
+				out = append(out, resps[i]...)
+			}
+		}
+		return out, nil
+	}
+}

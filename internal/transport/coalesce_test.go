@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// tagEchoHandler answers every request with msgType ‖ payload, failing on a
+// designated type.
+func tagEchoHandler(failType byte) Handler {
+	return func(msgType byte, payload []byte) ([]byte, error) {
+		if msgType == failType {
+			return nil, fmt.Errorf("boom %d", msgType)
+		}
+		return append([]byte{msgType}, payload...), nil
+	}
+}
+
+func TestCoalescerSingleCallPassthrough(t *testing.T) {
+	var calls atomic.Uint64
+	h := func(msgType byte, payload []byte) ([]byte, error) {
+		calls.Add(1)
+		if msgType == MsgBatched {
+			t.Error("lone call should not be enveloped")
+		}
+		return tagEchoHandler(0)(msgType, payload)
+	}
+	c := NewCoalescer(NewMemPeer(h))
+	resp, err := c.Call(7, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "\x07hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+// blockingPeer delays the first underlying Call until released, forcing
+// subsequent Calls to pile up in the coalescer.
+type blockingPeer struct {
+	inner   Peer
+	mu      sync.Mutex
+	started chan struct{}
+	release chan struct{}
+	first   bool
+	batched atomic.Uint64
+}
+
+func (p *blockingPeer) Call(msgType byte, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	first := !p.first
+	p.first = true
+	p.mu.Unlock()
+	if first {
+		close(p.started)
+		<-p.release
+	}
+	if msgType == MsgBatched {
+		p.batched.Add(1)
+	}
+	return p.inner.Call(msgType, payload)
+}
+
+func (p *blockingPeer) Stats() *Stats { return p.inner.Stats() }
+func (p *blockingPeer) Close() error  { return p.inner.Close() }
+
+// waitPending spins until n calls sit in the coalescer's queue.
+func waitPending(c *Coalescer, n int) {
+	for {
+		c.mu.Lock()
+		queued := len(c.pending)
+		c.mu.Unlock()
+		if queued >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestCoalescerMergesConcurrentCalls(t *testing.T) {
+	h := BatchHandler(tagEchoHandler(0))
+	bp := &blockingPeer{
+		inner:   NewMemPeer(h),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	c := NewCoalescer(bp)
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters+1)
+	resps := make([][]byte, waiters+1)
+
+	// One call occupies the underlying connection...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resps[0], errs[0] = c.Call(1, []byte("first"))
+	}()
+	<-bp.started
+
+	// ...while the rest queue up behind it.
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.Call(byte(1+i%3), []byte{byte(i)})
+		}(i)
+	}
+	waitPending(c, waiters)
+	close(bp.release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if string(resps[0]) != "\x01first" {
+		t.Fatalf("first resp = %q", resps[0])
+	}
+	for i := 1; i <= waiters; i++ {
+		want := string([]byte{byte(1 + i%3), byte(i)})
+		if string(resps[i]) != want {
+			t.Fatalf("resp %d = %q, want %q", i, resps[i], want)
+		}
+	}
+	if bp.batched.Load() == 0 {
+		t.Fatal("no batched envelope was used despite concurrent calls")
+	}
+}
+
+func TestCoalescerPerEntryErrors(t *testing.T) {
+	h := BatchHandler(tagEchoHandler(9))
+	bp := &blockingPeer{
+		inner:   NewMemPeer(h),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	c := NewCoalescer(bp)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Call(1, nil) // occupies the connection
+	}()
+	<-bp.started
+
+	var okErr, badErr error
+	var okResp []byte
+	wg.Add(2)
+	go func() { defer wg.Done(); okResp, okErr = c.Call(2, []byte("ok")) }()
+	go func() { defer wg.Done(); _, badErr = c.Call(9, nil) }()
+	waitPending(c, 2) // both must share the envelope before the flusher wakes
+	close(bp.release)
+	wg.Wait()
+
+	if okErr != nil || string(okResp) != "\x02ok" {
+		t.Fatalf("good entry: resp %q err %v", okResp, okErr)
+	}
+	if badErr == nil || !strings.Contains(badErr.Error(), "boom 9") {
+		t.Fatalf("bad entry error = %v", badErr)
+	}
+}
+
+func TestCoalescerOverTCP(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, tagEchoHandler(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	peer, err := Dial(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoalescer(peer)
+	defer c.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msgType := byte(1 + i%5)
+			if i%7 == 0 {
+				msgType = 9 // server-side failure
+			}
+			resp, err := c.Call(msgType, []byte{byte(i)})
+			if msgType == 9 {
+				if err == nil || !strings.Contains(err.Error(), "boom") {
+					errs[i] = fmt.Errorf("want boom, got resp %q err %v", resp, err)
+				}
+				return
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(resp) != 2 || resp[0] != msgType || resp[1] != byte(i) {
+				errs[i] = fmt.Errorf("resp = %q", resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestBatchHandlerRejectsMalformed(t *testing.T) {
+	h := BatchHandler(tagEchoHandler(0))
+	for _, payload := range [][]byte{
+		nil,
+		{1, 0, 0},
+		{2, 0, 0, 0, 5, 9, 0, 0, 0}, // declares 2 entries, carries a truncated one
+	} {
+		if _, err := h(MsgBatched, payload); err == nil {
+			t.Errorf("payload %v: want error", payload)
+		}
+	}
+}
+
+func TestCoalescerPropagatesTransportError(t *testing.T) {
+	p := NewMemPeer(tagEchoHandler(0))
+	p.Close()
+	c := NewCoalescer(p)
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

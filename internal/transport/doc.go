@@ -1,0 +1,21 @@
+// Package transport carries the Prio wire protocol between servers (and
+// from clients to the leader). The paper's deployment (Section 6.2) runs a
+// handful of servers in distinct data centers speaking TLS; this package
+// provides that plus the in-process equivalents the benchmarks need:
+//
+//   - a tagged request/response framing (1-byte type, 4-byte length);
+//   - an in-memory implementation for single-process clusters and
+//     benchmarks (MemPeer, LoopbackPeer);
+//   - a TCP implementation with optional TLS (self-signed, in-memory CA),
+//     mirroring the paper's deployment where servers speak TLS to each
+//     other (TCPPeer, Server);
+//   - per-peer byte counters, which is how Figure 6 (per-server data
+//     transfer per submission) is measured rather than estimated;
+//   - request coalescing (Coalescer, BatchHandler): concurrent Calls to
+//     one peer merge into a single MsgBatched frame per round-trip. The
+//     sharded aggregation pipeline (internal/core, docs/PIPELINE.md) runs
+//     many leader sessions against the same server set; coalescing keeps
+//     their per-round RPCs from queuing head-to-tail on each server
+//     connection, the transport-level half of the Appendix-I
+//     load-balancing design.
+package transport

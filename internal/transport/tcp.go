@@ -14,8 +14,10 @@ import (
 )
 
 // TCPPeer is a Peer over a (possibly TLS) stream connection. Calls are
-// serialized: the Prio leader issues one batch round-trip at a time per
-// server, matching the protocol's lock-step rounds.
+// serialized on the connection: one frame round-trip at a time. A serial
+// leader matches this naturally (lock-step rounds); concurrent leader
+// sessions should wrap the peer in a Coalescer so their in-flight rounds
+// merge into batched frames instead of queuing head-to-tail.
 type TCPPeer struct {
 	mu    sync.Mutex
 	conn  net.Conn
@@ -83,9 +85,11 @@ type Server struct {
 }
 
 // Serve starts accepting on ln; it returns immediately and handles
-// connections on background goroutines.
+// connections on background goroutines. The handler is wrapped with
+// BatchHandler, so every served endpoint understands MsgBatched envelopes
+// from Coalescer-wrapped peers.
 func Serve(ln net.Listener, h Handler) *Server {
-	s := &Server{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, h: BatchHandler(h), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s

@@ -1,12 +1,3 @@
-// Package transport carries the Prio wire protocol between servers (and from
-// clients to the leader). It provides:
-//
-//   - a tagged request/response framing (1-byte type, 4-byte length);
-//   - an in-memory implementation for single-process clusters and benchmarks;
-//   - a TCP implementation with optional TLS (self-signed, in-memory CA),
-//     mirroring the paper's deployment where servers speak TLS to each other;
-//   - per-peer byte counters, which is how Figure 6 (per-server data transfer
-//     per submission) is measured rather than estimated.
 package transport
 
 import (

@@ -111,6 +111,15 @@ type (
 	Cluster = core.Cluster[field.F64, uint64]
 	// ServerPublicKey encrypts client shares to one server.
 	ServerPublicKey = sealbox.PublicKey
+	// Pipeline is the sharded concurrent aggregation front-end: it fans a
+	// stream of submissions out across several leader sessions that verify
+	// batches in parallel (see docs/PIPELINE.md).
+	Pipeline = core.Pipeline[field.F64, uint64]
+	// PipelineConfig tunes a Pipeline (shard count, batch size, queue
+	// depth); the zero value picks sensible defaults.
+	PipelineConfig = core.PipelineConfig
+	// ShardStats reports a Pipeline's merged (or per-shard) work counters.
+	ShardStats = core.ShardStats
 )
 
 // NewProtocol validates a Config and precomputes the proof systems.
@@ -160,7 +169,10 @@ func ListenAndServe(addr string, srv *Server) (*Listener, error) {
 
 // ConnectLeader makes srv the deployment leader, connecting to every other
 // server by address. addrs must have one entry per server index; the entry
-// for srv itself is ignored (a loopback is used).
+// for srv itself is ignored (a loopback is used). Dialed peers are wrapped
+// in request coalescers, so concurrent leader sessions (NewPipeline) merge
+// their in-flight rounds into batched frames on each connection; a serial
+// leader passes through the coalescer untouched.
 func ConnectLeader(srv *Server, addrs []string) (*Leader, error) {
 	peers := make([]transport.Peer, len(addrs))
 	for i, addr := range addrs {
@@ -172,9 +184,17 @@ func ConnectLeader(srv *Server, addrs []string) (*Leader, error) {
 		if err != nil {
 			return nil, err
 		}
-		peers[i] = p
+		peers[i] = transport.NewCoalescer(p)
 	}
 	return core.NewLeader(srv, peers)
+}
+
+// NewPipeline builds a sharded aggregation pipeline in front of leader's
+// server set: cfg.Shards concurrent leader sessions verify queued
+// submissions in parallel and the servers' accumulators merge their
+// results. Submit feeds it; Aggregate drains and publishes.
+func NewPipeline(leader *Leader, cfg PipelineConfig) (*Pipeline, error) {
+	return core.NewPipeline(leader, cfg)
 }
 
 // FetchPublicKey retrieves a remote server's sealbox key.
