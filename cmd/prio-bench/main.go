@@ -11,6 +11,7 @@
 //	prio-bench fig8     — client time vs regression dimension
 //	prio-bench table9   — server throughput for d-dim regression
 //	prio-bench pipeline — throughput vs concurrent verification shards
+//	prio-bench ingest   — streamed vs round-trip submission throughput
 //	prio-bench all      — everything above, in order
 //
 // Absolute numbers differ from the paper's 2016 EC2 testbed; the shapes —
@@ -43,9 +44,10 @@ func main() {
 		"fig8":     fig8,
 		"table9":   table9,
 		"pipeline": figPipeline,
+		"ingest":   figIngest,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline"} {
+		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline", "ingest"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -59,6 +61,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|all}")
+	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|all}")
 	os.Exit(2)
 }

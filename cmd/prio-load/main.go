@@ -1,0 +1,234 @@
+// Command prio-load floods a Prio deployment with streamed submissions and
+// reports throughput plus ack-latency percentiles — the client-side half of
+// the streaming ingest subsystem (internal/ingest), for any statistic
+// prio.ParseScheme understands.
+//
+// Two generator disciplines:
+//
+//   - Closed loop (default): each stream keeps its credit window full, so
+//     offered load tracks whatever the servers sustain. Measures capacity.
+//   - Open loop (-rate): submissions are injected at a fixed aggregate rate
+//     regardless of acks, as an external client population would. Measures
+//     behavior at a given load: latency stays flat until the deployment
+//     saturates, then the credit window makes queueing visible here rather
+//     than as server memory.
+//
+// Example against a local three-server deployment:
+//
+//	prio-load -peers localhost:7000,localhost:7001,localhost:7002 \
+//	    -scheme sum8 -streams 4 -duration 10s
+//
+// Submissions are pre-built (the paper's load generators do the same) so
+// client-side proof generation does not cap the offered rate; -prebuild
+// sizes the recycled pool.
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prio"
+	"prio/internal/cli"
+	"prio/internal/transport"
+)
+
+var (
+	peersFlag  = flag.String("peers", "", "comma-separated server addresses in index order")
+	schemeFlag = flag.String("scheme", "sum8", "statistic spec (must match the servers)")
+	modeFlag   = flag.String("mode", "prio", "validation mode (must match the servers)")
+	value      = flag.String("value", "", "private value to submit (default: a scheme-appropriate constant)")
+	duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
+	streams    = flag.Int("streams", 4, "concurrent ingest streams (connections)")
+	rate       = flag.Float64("rate", 0, "open-loop aggregate submissions/s (0 = closed loop)")
+	prebuild   = flag.Int("prebuild", 256, "pre-built submissions recycled by the generators")
+	useTLS     = flag.Bool("tls", true, "dial the servers over TLS")
+	tlsCA      = flag.String("tls-ca", "", "PEM bundle to authenticate the servers against")
+)
+
+// collector accumulates ack outcomes and latencies across all streams.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	accepted uint64
+	rejected uint64
+	shed     uint64
+	failed   uint64
+}
+
+func (c *collector) onAck(a prio.Ack) {
+	switch a.Status {
+	case prio.StatusAccepted:
+		atomic.AddUint64(&c.accepted, 1)
+	case prio.StatusRejected:
+		atomic.AddUint64(&c.rejected, 1)
+	case prio.StatusShed:
+		atomic.AddUint64(&c.shed, 1)
+	default:
+		atomic.AddUint64(&c.failed, 1)
+	}
+	c.mu.Lock()
+	c.latencies = append(c.latencies, a.Latency)
+	c.mu.Unlock()
+}
+
+// percentile returns the p-th percentile of the sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func main() {
+	flag.Parse()
+	if *peersFlag == "" {
+		log.Fatal("prio-load: -peers is required")
+	}
+	peers := strings.Split(*peersFlag, ",")
+	scheme, err := prio.ParseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode, err := cli.ParseMode(*modeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tlsCfg *tls.Config
+	if *useTLS {
+		tlsCfg, err = transport.ClientTLS(*tlsCA)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: len(peers), Mode: mode, Seal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys := make([]*prio.ServerPublicKey, len(peers))
+	for i, addr := range peers {
+		k, err := prio.FetchPublicKeyTLS(addr, tlsCfg)
+		if err != nil {
+			log.Fatalf("prio-load: fetching key from %s: %v", addr, err)
+		}
+		keys[i] = k
+	}
+	client, err := prio.NewClient(pro, keys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var enc []uint64
+	if *value != "" {
+		enc, err = cli.EncodeValue(scheme, *value)
+	} else {
+		enc, err = cli.DefaultEncoding(scheme)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool := make([]*prio.Submission, *prebuild)
+	for i := range pool {
+		pool[i], err = client.BuildSubmission(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	col := &collector{}
+	subs := make([]*prio.StreamSubmitter, *streams)
+	for i := range subs {
+		subs[i], err = prio.OpenStream(peers[0], prio.SubmitterConfig{TLS: tlsCfg, OnAck: col.onAck})
+		if err != nil {
+			log.Fatalf("prio-load: opening stream %d: %v", i, err)
+		}
+		defer subs[i].Close()
+	}
+	discipline := "closed"
+	if *rate > 0 {
+		discipline = fmt.Sprintf("open @ %.0f subs/s", *rate)
+	}
+	log.Printf("prio-load: %d streams (%d credits each), %s loop, %s scheme, %v",
+		*streams, subs[0].Credits(), discipline, scheme.Name(), *duration)
+
+	// Generate. Each stream has one generator goroutine; the open loop adds
+	// a token feed shared by all of them.
+	deadline := time.Now().Add(*duration)
+	var submitted uint64
+	var overrun uint64 // open loop: tokens dropped because every stream was window-blocked
+	var tokens chan struct{}
+	if *rate > 0 {
+		tokens = make(chan struct{}, 1024)
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) {
+				<-tick.C
+				select {
+				case tokens <- struct{}{}:
+				default:
+					atomic.AddUint64(&overrun, 1)
+				}
+			}
+			close(tokens)
+		}()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s *prio.StreamSubmitter) {
+			defer wg.Done()
+			n := i // stagger the pool cursor across streams
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					if _, ok := <-tokens; !ok {
+						return
+					}
+				}
+				if _, err := s.Submit(pool[n%len(pool)]); err != nil {
+					return // stream died; its stats still count
+				}
+				atomic.AddUint64(&submitted, 1)
+				n++
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, s := range subs {
+		if err := s.Wait(); err != nil {
+			log.Printf("prio-load: stream drain: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	col.mu.Lock()
+	lat := col.latencies
+	col.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	acked := uint64(len(lat))
+	fmt.Printf("submitted=%d acked=%d accepted=%d rejected=%d shed=%d failed=%d\n",
+		atomic.LoadUint64(&submitted), acked,
+		atomic.LoadUint64(&col.accepted), atomic.LoadUint64(&col.rejected),
+		atomic.LoadUint64(&col.shed), atomic.LoadUint64(&col.failed))
+	fmt.Printf("throughput=%.1f subs/s over %.2fs\n", float64(acked)/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Printf("ack latency p50=%v p95=%v p99=%v\n",
+		percentile(lat, 50).Round(10*time.Microsecond),
+		percentile(lat, 95).Round(10*time.Microsecond),
+		percentile(lat, 99).Round(10*time.Microsecond))
+	if ov := atomic.LoadUint64(&overrun); ov > 0 {
+		fmt.Printf("open-loop overrun: %d tokens dropped (deployment slower than -rate)\n", ov)
+	}
+}

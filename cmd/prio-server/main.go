@@ -1,10 +1,12 @@
-// Command prio-server runs one Prio aggregation server over TCP.
+// Command prio-server runs one Prio aggregation server over TLS.
 //
 // Every server in a deployment starts with the same statistic configuration
 // and its own index. The server with index 0 additionally acts as leader: it
-// accepts client submissions, relays sealed shares, drives verification in
-// batches, and prints the decoded aggregate on an interval. Example
-// three-server deployment of a 434-question survey:
+// accepts client submissions (streamed by default — see internal/ingest —
+// with the legacy one-shot MsgSubmit path still served), relays sealed
+// shares, drives verification in batches across concurrent shards, and
+// prints the decoded aggregate on an interval. Example three-server
+// deployment of a 434-question survey:
 //
 //	prio-server -index 2 -listen :7002 -servers 3 -scheme bits434
 //	prio-server -index 1 -listen :7001 -servers 3 -scheme bits434
@@ -12,35 +14,52 @@
 //	    -peers localhost:7000,localhost:7001,localhost:7002 \
 //	    -batch 16 -publish-every 30s
 //
-// Clients submit with prio-client pointed at the leader.
+// Clients submit with prio-client (or flood with prio-load) pointed at the
+// leader.
+//
+// TLS is on by default: without -tls-cert/-tls-key each server generates a
+// self-signed certificate, giving channel confidentiality without a PKI
+// (peers and clients then dial without authenticating the server; pin real
+// certificates with -tls-cert/-tls-key and -tls-ca to authenticate, or pass
+// -tls=false for plaintext benchmarking).
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
 	"math/big"
+	"net"
 	"strings"
 	"sync"
 	"time"
 
 	"prio"
+	"prio/internal/cli"
 	"prio/internal/core"
+	"prio/internal/ingest"
 	"prio/internal/transport"
 )
 
 var (
-	index        = flag.Int("index", 0, "this server's index (0 = leader)")
-	listen       = flag.String("listen", ":7000", "address to listen on")
-	peersFlag    = flag.String("peers", "", "comma-separated server addresses in index order (leader only)")
-	schemeFlag   = flag.String("scheme", "sum8", "statistic spec (see prio.ParseScheme)")
-	servers      = flag.Int("servers", 0, "server count (default: inferred from -peers)")
-	modeFlag     = flag.String("mode", "prio", "validation mode: prio, prio-mpc, no-robust")
-	batch        = flag.Int("batch", 16, "max submissions per verification round (leader)")
-	shards       = flag.Int("shards", 0, "concurrent verification shards (leader; 0 = one per CPU)")
-	queueDepth   = flag.Int("queue-depth", 0, "pipeline submission queue capacity (leader; 0 = 4 batches per shard)")
-	publishEvery = flag.Duration("publish-every", 30*time.Second, "aggregate publication interval (leader)")
-	once         = flag.Bool("once", false, "leader: publish once after the first interval and exit (for scripting)")
+	index         = flag.Int("index", 0, "this server's index (0 = leader)")
+	listen        = flag.String("listen", ":7000", "address to listen on")
+	peersFlag     = flag.String("peers", "", "comma-separated server addresses in index order (leader only)")
+	schemeFlag    = flag.String("scheme", "sum8", "statistic spec (see prio.ParseScheme)")
+	servers       = flag.Int("servers", 0, "server count (default: inferred from -peers)")
+	modeFlag      = flag.String("mode", "prio", "validation mode: prio, prio-mpc, no-robust")
+	batch         = flag.Int("batch", 16, "max submissions per verification round (leader)")
+	shards        = flag.Int("shards", 0, "concurrent verification shards (leader; 0 = one per CPU)")
+	queueDepth    = flag.Int("queue-depth", 0, "pipeline submission queue capacity (leader; 0 = 4 batches per shard)")
+	ingestCredits = flag.Int("ingest-credits", ingest.DefaultCredits, "per-stream credit window for streamed submissions (leader)")
+	ingestQueue   = flag.Int("ingest-queue", ingest.DefaultQueueDepth, "intake queue capacity buffering streamed submissions for the pipeline (leader)")
+	publishEvery  = flag.Duration("publish-every", 30*time.Second, "aggregate publication interval (leader)")
+	once          = flag.Bool("once", false, "leader: publish once after the first interval and exit (for scripting)")
+	useTLS        = flag.Bool("tls", true, "serve and dial TLS (self-signed unless -tls-cert/-tls-key)")
+	tlsCert       = flag.String("tls-cert", "", "PEM certificate file (with -tls-key; default: fresh self-signed)")
+	tlsKey        = flag.String("tls-key", "", "PEM private key file (with -tls-cert)")
+	tlsCA         = flag.String("tls-ca", "", "PEM bundle to authenticate peer servers against (default: encrypt without authenticating)")
 )
 
 func main() {
@@ -60,9 +79,24 @@ func main() {
 	if n == 0 {
 		log.Fatal("prio-server: set -servers or -peers")
 	}
-	mode, err := parseMode(*modeFlag)
+	mode, err := cli.ParseMode(*modeFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var serverTLS, clientTLS *tls.Config
+	if *useTLS {
+		host, _, err := net.SplitHostPort(*listen)
+		if err != nil || host == "" {
+			host = "localhost"
+		}
+		serverTLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey, host)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clientTLS, err = transport.ClientTLS(*tlsCA)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: n, Mode: mode, Seal: true})
 	if err != nil {
@@ -74,22 +108,23 @@ func main() {
 	}
 
 	if *index != 0 {
-		ln, err := prio.ListenAndServe(*listen, srv)
+		ln, err := prio.ListenAndServeTLS(*listen, srv, serverTLS)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("server %d (%s, %s) listening on %s", *index, scheme.Name(), mode, ln.Addr())
+		log.Printf("server %d (%s, %s, tls=%v) listening on %s", *index, scheme.Name(), mode, *useTLS, ln.Addr())
 		select {} // serve until killed
 	}
 
-	// Leader path: wrap the protocol handler so MsgSubmit feeds the
-	// verification pipeline, then connect to the peer servers.
+	// Leader path: serve the protocol handler with MsgSubmit feeding the
+	// verification pipeline and the streaming ingest handler terminating
+	// pipelined submission streams (the default client path).
 	if len(peers) != n {
 		log.Fatalf("prio-server: leader needs -peers with %d entries", n)
 	}
 	ld := &leaderLoop{scheme: scheme}
 	base := srv.Handler()
-	ln, err := transport.Listen(*listen, nil, func(msgType byte, payload []byte) ([]byte, error) {
+	ln, err := transport.Listen(*listen, serverTLS, func(msgType byte, payload []byte) ([]byte, error) {
 		if msgType != core.MsgSubmit {
 			return base(msgType, payload)
 		}
@@ -97,14 +132,19 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return nil, ld.submit(sub)
+		return nil, ld.SubmitFunc(sub, nil)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
+	ing := ingest.NewServer(ld, ingest.Config{Credits: *ingestCredits, QueueDepth: *ingestQueue})
+	defer ing.Close()
+	ln.OnStream(ing.Handler())
+	ld.ingest = ing
+
 	time.Sleep(500 * time.Millisecond) // let peers come up
-	leader, err := prio.ConnectLeader(srv, peers)
+	leader, err := prio.ConnectLeaderTLS(srv, peers, clientTLS)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,8 +158,8 @@ func main() {
 	}
 	defer pl.Close()
 	ld.start(pl)
-	log.Printf("leader (%s, %s) listening on %s, %d servers, %d shards",
-		scheme.Name(), mode, ln.Addr(), n, pl.Shards())
+	log.Printf("leader (%s, %s, tls=%v) listening on %s, %d servers, %d shards, %d stream credits",
+		scheme.Name(), mode, *useTLS, ln.Addr(), n, pl.Shards(), *ingestCredits)
 
 	ticker := time.NewTicker(*publishEvery)
 	defer ticker.Stop()
@@ -131,28 +171,25 @@ func main() {
 	}
 }
 
-func parseMode(s string) (prio.Mode, error) {
-	switch s {
-	case "prio":
-		return prio.ModePrio, nil
-	case "prio-mpc":
-		return prio.ModePrioMPC, nil
-	case "no-robust":
-		return prio.ModeNoRobustness, nil
-	default:
-		return 0, fmt.Errorf("prio-server: unknown mode %q", s)
-	}
+// pendingSub is a submission received before the pipeline connected.
+type pendingSub struct {
+	sub *prio.Submission
+	fn  func(prio.SubmitResult)
 }
 
 // leaderLoop feeds client submissions into the verification pipeline,
-// buffering the few that arrive before the pipeline is connected.
+// buffering the few that arrive before the pipeline is connected. It
+// implements ingest.Sink, so the streaming ingest handler and the legacy
+// MsgSubmit path share one intake.
 type leaderLoop struct {
 	scheme prio.Scheme
+	ingest *prio.IngestServer
 
-	mu       sync.Mutex
-	pipeline *prio.Pipeline
-	pending  []*prio.Submission // submissions received before start
-	lastStat prio.ShardStats
+	mu         sync.Mutex
+	pipeline   *prio.Pipeline
+	pending    []pendingSub // submissions received before start
+	lastStat   prio.ShardStats
+	lastIngest prio.IngestStats
 }
 
 // start installs the connected pipeline and flushes the pre-connect buffer.
@@ -162,41 +199,59 @@ func (ld *leaderLoop) start(pl *prio.Pipeline) {
 	pending := ld.pending
 	ld.pending = nil
 	ld.mu.Unlock()
-	for _, sub := range pending {
-		if err := pl.Submit(sub); err != nil {
+	for _, p := range pending {
+		if err := pl.SubmitFunc(p.sub, p.fn); err != nil {
 			log.Printf("submit error: %v", err)
 		}
 	}
 }
 
-// submit routes one submission into the pipeline (or the pre-connect
-// buffer). The pipeline applies backpressure by blocking when its queue is
-// full, which in turn slows the submitting client's connection.
-func (ld *leaderLoop) submit(sub *prio.Submission) error {
+// SubmitFunc implements ingest.Sink: route one submission into the pipeline
+// (or the pre-connect buffer), blocking under backpressure.
+func (ld *leaderLoop) SubmitFunc(sub *prio.Submission, fn func(prio.SubmitResult)) error {
 	ld.mu.Lock()
 	pl := ld.pipeline
 	if pl == nil {
-		ld.pending = append(ld.pending, sub)
+		ld.pending = append(ld.pending, pendingSub{sub: sub, fn: fn})
 		ld.mu.Unlock()
 		return nil
 	}
 	ld.mu.Unlock()
-	return pl.Submit(sub)
+	return pl.SubmitFunc(sub, fn)
+}
+
+// TrySubmitFunc implements ingest.Sink: the non-blocking enqueue behind the
+// streamed path's fast lane.
+func (ld *leaderLoop) TrySubmitFunc(sub *prio.Submission, fn func(prio.SubmitResult)) (bool, error) {
+	ld.mu.Lock()
+	pl := ld.pipeline
+	if pl == nil {
+		ld.pending = append(ld.pending, pendingSub{sub: sub, fn: fn})
+		ld.mu.Unlock()
+		return true, nil
+	}
+	ld.mu.Unlock()
+	return pl.TrySubmitFunc(sub, fn)
 }
 
 // publish quiesces the pipeline and prints the decoded aggregate plus the
-// interval's verification counters. Pipeline.Aggregate pauses intake for
-// the duration, so the published aggregate is a consistent snapshot even
-// under sustained submission traffic.
+// interval's verification and ingest counters. Pipeline.Aggregate pauses
+// intake for the duration, so the published aggregate is a consistent
+// snapshot even under sustained submission traffic.
 func (ld *leaderLoop) publish() {
 	ld.mu.Lock()
 	pl := ld.pipeline
+	ing := ld.ingest
 	ld.mu.Unlock()
 	if pl == nil {
 		return
 	}
 	agg, n, err := pl.Aggregate()
 	st := pl.Stats()
+	var ist prio.IngestStats
+	if ing != nil {
+		ist = ing.Stats()
+	}
 	ld.mu.Lock()
 	delta := st
 	delta.Batches -= ld.lastStat.Batches
@@ -204,11 +259,17 @@ func (ld *leaderLoop) publish() {
 	delta.Accepted -= ld.lastStat.Accepted
 	delta.Rejected -= ld.lastStat.Rejected
 	delta.Failed -= ld.lastStat.Failed
+	streamed := ist.Received - ld.lastIngest.Received
+	// The ingest layer's count is the authoritative client-visible shed
+	// number; pipeline Refused entries were re-queued through the intake
+	// buffer, not necessarily lost.
+	shed := ist.Shed - ld.lastIngest.Shed
 	ld.lastStat = st
+	ld.lastIngest = ist
 	ld.mu.Unlock()
-	if delta.Processed+delta.Failed > 0 {
-		log.Printf("interval: %d accepted, %d rejected, %d failed in %d rounds",
-			delta.Accepted, delta.Rejected, delta.Failed, delta.Batches)
+	if delta.Processed+delta.Failed+shed > 0 {
+		log.Printf("interval: %d accepted, %d rejected, %d failed, %d shed in %d rounds (%d streamed)",
+			delta.Accepted, delta.Rejected, delta.Failed, shed, delta.Batches, streamed)
 	}
 	if err != nil {
 		log.Printf("aggregate error: %v", err)

@@ -1,0 +1,122 @@
+// Package cli holds small helpers shared by the command-line binaries:
+// parsing a textual private value for a scheme (prio-client) and fabricating
+// a default valid value for load generation (prio-load).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prio"
+)
+
+// EncodeValue parses the textual value for the given scheme and encodes it.
+// The syntax is scheme-dependent: a decimal integer for sums and counters, a
+// comma-separated vector for surveys, "x1,x2,...;y" for regression.
+func EncodeValue(scheme prio.Scheme, v string) ([]uint64, error) {
+	switch s := scheme.(type) {
+	case *prio.Sum:
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(x)
+	case *prio.Variance:
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(x)
+	case *prio.FreqCount:
+		x, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(x)
+	case *prio.MostPopular:
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(x)
+	case *prio.BitVector:
+		parts := strings.Split(v, ",")
+		bits := make([]bool, len(parts))
+		for i, p := range parts {
+			bits[i] = strings.TrimSpace(p) == "1"
+		}
+		return s.Encode(bits)
+	case *prio.IntVector:
+		parts := strings.Split(v, ",")
+		vals := make([]uint64, len(parts))
+		for i, p := range parts {
+			x, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = x
+		}
+		return s.Encode(vals)
+	case *prio.LinReg:
+		halves := strings.SplitN(v, ";", 2)
+		if len(halves) != 2 {
+			return nil, fmt.Errorf("linreg value must be \"x1,x2,...;y\"")
+		}
+		parts := strings.Split(halves[0], ",")
+		xs := make([]uint64, len(parts))
+		for i, p := range parts {
+			x, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			xs[i] = x
+		}
+		y, err := strconv.ParseUint(strings.TrimSpace(halves[1]), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(xs, y)
+	default:
+		return nil, fmt.Errorf("no value parser for scheme %s", scheme.Name())
+	}
+}
+
+// DefaultEncoding fabricates a valid private value for the scheme — what a
+// load generator submits when the operator does not care which value floods
+// the deployment.
+func DefaultEncoding(scheme prio.Scheme) ([]uint64, error) {
+	switch s := scheme.(type) {
+	case *prio.Sum:
+		return s.Encode(1)
+	case *prio.Variance:
+		return s.Encode(1)
+	case *prio.FreqCount:
+		return s.Encode(0)
+	case *prio.MostPopular:
+		return s.Encode(1)
+	case *prio.BitVector:
+		return s.Encode(make([]bool, s.Len()))
+	case *prio.IntVector:
+		return s.Encode(make([]uint64, s.Len()))
+	case *prio.LinReg:
+		return s.Encode(make([]uint64, s.D()), 0)
+	default:
+		return nil, fmt.Errorf("no default value for scheme %s", scheme.Name())
+	}
+}
+
+// ParseMode maps the -mode flag onto a deployment mode. All binaries accept
+// the same three names, matching the paper's evaluation variants.
+func ParseMode(s string) (prio.Mode, error) {
+	switch s {
+	case "prio":
+		return prio.ModePrio, nil
+	case "prio-mpc":
+		return prio.ModePrioMPC, nil
+	case "no-robust":
+		return prio.ModeNoRobustness, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want prio, prio-mpc, or no-robust)", s)
+	}
+}

@@ -24,9 +24,10 @@ import (
 // challenge rotation and batch-sequence allocation, while the verification
 // rounds themselves run lock-free, so independent batches overlap on the
 // wire and on the servers' cores. One caveat bounds the concurrency: the
-// servers keep a window of two challenges per session, so a session must
-// not have more than ChallengeEvery submissions in flight at once (two
-// rotations would evict an in-flight batch's challenge and fail it).
+// servers keep a bounded window of live challenges per session (three, one
+// of which the prefetcher occupies), so a session must not have more than
+// ChallengeEvery submissions in flight at once (two rotations would evict an
+// in-flight batch's challenge and fail it).
 // Pipeline stays far below this bound by construction — each shard drives
 // its own session serially; callers wanting more overlap should open more
 // sessions (NewLeaderSession) rather than hammer one.
@@ -40,6 +41,15 @@ type Leader[Fd field.Field[E], E any] struct {
 	haveChall bool
 	batchSeq  uint64
 	sinceCh   int
+	next      *challPrefetch // pre-generated, pre-broadcast next challenge
+}
+
+// challPrefetch is a challenge being generated and broadcast off-path, ahead
+// of the rotation that will adopt it.
+type challPrefetch struct {
+	id   uint32
+	done chan struct{}
+	err  error
 }
 
 // NewLeader wraps a server with coordination duties. peers must hold one
@@ -135,6 +145,15 @@ func (l *Leader[Fd, E]) same(payload []byte) [][]byte {
 // is exhausted (or none exists yet). Callers must hold lmu; the counter
 // increments within the session's 16-bit slot so rotation never bleeds into
 // a neighboring session namespace.
+//
+// Rotation prefers a prefetched challenge: right after each rotation the
+// leader starts generating and broadcasting the *next* challenge on a
+// background goroutine, so by the time the window is exhausted again the
+// servers already hold it and rotation reduces to a counter bump — no
+// challenge sampling or MsgSetChallenge round-trip stalls the session (or,
+// under the pipeline, the shard) at the window boundary. The servers keep a
+// window of three live challenges per session namespace to make the early
+// broadcast safe for batches still in flight on the previous challenge.
 func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
 	if l.pro.Cfg.Mode == ModeNoRobust {
 		return nil
@@ -142,20 +161,58 @@ func (l *Leader[Fd, E]) ensureChallenge(upcoming int) error {
 	if l.haveChall && l.sinceCh+upcoming <= l.pro.Cfg.ChallengeEvery {
 		return nil
 	}
+	if pf := l.next; pf != nil {
+		l.next = nil
+		<-pf.done // almost always already closed: the prefetch started a full window ago
+		if pf.err == nil {
+			l.challID = pf.id
+			l.haveChall = true
+			l.sinceCh = 0
+			l.prefetchNext()
+			return nil
+		}
+		// The prefetch failed (e.g. a peer hiccup); fall through and rotate
+		// synchronously under the same ID so the counter stays contiguous.
+	}
+	nextID := l.challID&0xFFFF0000 | (l.challID+1)&0xFFFF
+	if err := l.installChallenge(nextID); err != nil {
+		return err
+	}
+	l.challID = nextID
+	l.haveChall = true
+	l.sinceCh = 0
+	l.prefetchNext()
+	return nil
+}
+
+// installChallenge samples fresh verification randomness and broadcasts it
+// to every server under the given challenge ID.
+func (l *Leader[Fd, E]) installChallenge(id uint32) error {
 	ch, err := l.pro.newChallenge()
 	if err != nil {
 		return err
 	}
-	l.challID = l.challID&0xFFFF0000 | (l.challID+1)&0xFFFF
 	w := &wbuf{}
-	w.u32(l.challID)
+	w.u32(id)
 	w.raw(l.pro.marshalChallenge(ch))
-	if _, err := l.broadcast(MsgSetChallenge, l.same(w.b)); err != nil {
-		return err
+	_, err = l.broadcast(MsgSetChallenge, l.same(w.b))
+	return err
+}
+
+// prefetchNext starts generating and broadcasting the next challenge in the
+// background. Callers must hold lmu. At most one prefetch is outstanding per
+// session, and its result is only adopted under lmu, so the session's
+// challenge counter stays strictly sequential.
+func (l *Leader[Fd, E]) prefetchNext() {
+	pf := &challPrefetch{
+		id:   l.challID&0xFFFF0000 | (l.challID+1)&0xFFFF,
+		done: make(chan struct{}),
 	}
-	l.haveChall = true
-	l.sinceCh = 0
-	return nil
+	l.next = pf
+	go func() {
+		pf.err = l.installChallenge(pf.id)
+		close(pf.done)
+	}()
 }
 
 // ProcessBatch verifies and aggregates a batch of submissions, returning the

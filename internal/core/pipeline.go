@@ -34,8 +34,9 @@ type Pipeline[Fd field.Field[E], E any] struct {
 	sessions []*Leader[Fd, E]
 	queue    chan pipeJob
 
-	wg     sync.WaitGroup
-	shards []ShardStats
+	wg      sync.WaitGroup
+	shards  []ShardStats
+	refused uint64 // submissions refused unqueued by TrySubmitFunc (queue full)
 
 	// closeMu makes Submit's send atomic with respect to Close: senders
 	// hold the read side across the channel send (many may block there at
@@ -91,6 +92,13 @@ type ShardStats struct {
 	Accepted  uint64 // submissions whose shares entered the accumulators
 	Rejected  uint64 // submissions refused by SNIP/MPC verification
 	Failed    uint64 // submissions lost to batch-level errors
+	// Refused counts submissions TrySubmitFunc turned away with a full
+	// queue (whole pipeline, not per shard). Whether a refusal is a loss is
+	// the intake edge's call: the streaming ingest layer re-queues refusals
+	// and sheds only when its own buffer also overflows (its IngestStats
+	// carry the authoritative shed count), while a bare TrySubmitFunc
+	// caller that does not retry loses the submission.
+	Refused uint64
 }
 
 // merge adds o into s.
@@ -100,12 +108,25 @@ func (s *ShardStats) merge(o ShardStats) {
 	s.Accepted += o.Accepted
 	s.Rejected += o.Rejected
 	s.Failed += o.Failed
+	s.Refused += o.Refused
 }
 
-// pipeJob is one queued submission with an optional completion channel.
+// pipeJob is one queued submission with an optional completion channel or
+// callback.
 type pipeJob struct {
 	sub *Submission
 	res chan<- SubmitResult
+	fn  func(SubmitResult)
+}
+
+// finish delivers the decision to whichever completion the submitter chose.
+func (j *pipeJob) finish(r SubmitResult) {
+	if j.res != nil {
+		j.res <- r
+	}
+	if j.fn != nil {
+		j.fn(r)
+	}
 }
 
 // SubmitResult reports one submission's outcome to a SubmitWait caller.
@@ -170,6 +191,40 @@ func (p *Pipeline[Fd, E]) SubmitWait(sub *Submission) (bool, error) {
 	}
 	r := <-res
 	return r.Accepted, r.Err
+}
+
+// SubmitFunc enqueues one submission like Submit (blocking while the queue
+// is full) and invokes fn with the individual decision once a shard reaches
+// it. fn runs on the deciding shard's goroutine and must not block; the
+// streaming ingest layer uses this to ack many in-flight submissions without
+// parking a goroutine per submission.
+func (p *Pipeline[Fd, E]) SubmitFunc(sub *Submission, fn func(SubmitResult)) error {
+	return p.submit(pipeJob{sub: sub, fn: fn})
+}
+
+// TrySubmitFunc is the non-blocking SubmitFunc: when the queue has room the
+// submission is enqueued and fn will see its decision; when the queue is
+// full the submission is refused — counted in Stats().Refused, fn never
+// called — and TrySubmitFunc returns false. Intake edges that must not
+// stall their reader (a streaming connection, an RPC handler) use this and
+// decide what a refusal means: buffer and retry, or shed toward the client.
+func (p *Pipeline[Fd, E]) TrySubmitFunc(sub *Submission, fn func(SubmitResult)) (bool, error) {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return false, errors.New("core: pipeline is closed")
+	}
+	p.mu.Lock()
+	p.pending++
+	p.mu.Unlock()
+	select {
+	case p.queue <- pipeJob{sub: sub, fn: fn}:
+		return true, nil
+	default:
+		atomic.AddUint64(&p.refused, 1)
+		p.settle(1)
+		return false, nil
+	}
 }
 
 // submit guards the queue against closure.
@@ -239,9 +294,7 @@ func (p *Pipeline[Fd, E]) shardLoop(i int) {
 			atomic.AddUint64(&st.Failed, uint64(len(jobs)))
 			p.recordErr(err)
 			for _, j := range jobs {
-				if j.res != nil {
-					j.res <- SubmitResult{Err: err}
-				}
+				j.finish(SubmitResult{Err: err})
 			}
 			p.settle(len(jobs))
 			continue
@@ -253,9 +306,7 @@ func (p *Pipeline[Fd, E]) shardLoop(i int) {
 			} else {
 				atomic.AddUint64(&st.Rejected, 1)
 			}
-			if j.res != nil {
-				j.res <- SubmitResult{Accepted: accepts[k]}
-			}
+			j.finish(SubmitResult{Accepted: accepts[k]})
 		}
 		p.settle(len(jobs))
 	}
@@ -304,6 +355,7 @@ func (p *Pipeline[Fd, E]) Stats() ShardStats {
 	for i := range p.shards {
 		out.merge(p.loadShard(i))
 	}
+	out.Refused = atomic.LoadUint64(&p.refused)
 	return out
 }
 

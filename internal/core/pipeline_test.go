@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"prio/internal/afe"
@@ -422,5 +423,158 @@ func TestPipelineOverCoalescedTCP(t *testing.T) {
 	}
 	if got.Uint64() != want {
 		t.Errorf("aggregate = %d, want %d", got.Uint64(), want)
+	}
+}
+
+// TestTrySubmitRefused exercises the non-blocking intake edge: with the
+// single shard wedged mid-Round1 and a two-slot queue, TrySubmitFunc must
+// refuse the overflow (counted, never decided) while everything it accepted
+// is still verified once the shard unwedges.
+func TestTrySubmitRefused(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	gate := make(chan struct{})
+	gated := func(h transport.Handler) transport.Handler {
+		return func(msgType byte, payload []byte) ([]byte, error) {
+			if msgType == MsgRound1 {
+				<-gate
+			}
+			return h(msgType, payload)
+		}
+	}
+	peers := []transport.Peer{
+		&transport.LoopbackPeer{Handler: gated(cl.Servers[0].Handle)},
+		transport.NewMemPeer(gated(cl.Servers[1].Handle)),
+	}
+	ld, err := NewLeader(cl.Servers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(ld, PipelineConfig{Shards: 1, MaxBatch: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	var decided sync.WaitGroup
+	var accepted int64
+	enq := 0
+	for i := 0; i < n; i++ {
+		enc, err := scheme.Encode(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decided.Add(1)
+		ok, err := pl.TrySubmitFunc(sub, func(r SubmitResult) {
+			if r.Err == nil && r.Accepted {
+				atomic.AddInt64(&accepted, 1)
+			}
+			decided.Done()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			decided.Done() // refused: the callback never runs
+		} else {
+			enq++
+		}
+	}
+	// The shard holds one submission and the queue two more, so at least
+	// three of the six attempts must have been refused.
+	if enq > 3 {
+		t.Fatalf("enqueued %d submissions past a wedged 1-shard/2-slot pipeline", enq)
+	}
+	if st := pl.Stats(); st.Refused != uint64(n-enq) {
+		t.Errorf("Refused = %d, want %d", st.Refused, n-enq)
+	}
+
+	close(gate)
+	pl.Drain()
+	decided.Wait()
+	st := pl.Stats()
+	if st.Accepted != uint64(enq) || atomic.LoadInt64(&accepted) != int64(enq) {
+		t.Errorf("accepted %d (callbacks %d), want %d", st.Accepted, accepted, enq)
+	}
+	if st.Refused != uint64(n-enq) || st.Failed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.TrySubmitFunc(nil, nil); err == nil {
+		t.Error("TrySubmitFunc after Close succeeded")
+	}
+}
+
+// TestChallengePrefetchRotation drives many rotations through one leader
+// with a tiny challenge window, so nearly every rotation adopts a challenge
+// that was generated and broadcast off-path. The aggregate must stay exact.
+func TestChallengePrefetchRotation(t *testing.T) {
+	f := field.NewF64()
+	scheme := afe.NewSum(f, 8)
+	pro, err := NewProtocol(Config[field.F64, uint64]{
+		Field:          f,
+		Scheme:         scheme,
+		Servers:        3,
+		Mode:           ModeSNIP,
+		SnipReps:       1,
+		ChallengeEvery: 2, // rotate on every 2-submission batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewLocalCluster(pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(pro, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	total := 0
+	for batch := 0; batch < 12; batch++ {
+		var subs []*Submission
+		for i := 0; i < 2; i++ {
+			v := uint64((batch*31 + i) % 256)
+			want += v
+			total++
+			enc, err := scheme.Encode(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := client.BuildSubmission(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs = append(subs, sub)
+		}
+		accepts, err := cl.Leader.ProcessBatch(subs)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		for i, ok := range accepts {
+			if !ok {
+				t.Fatalf("batch %d: honest submission %d rejected", batch, i)
+			}
+		}
+	}
+	agg, n, err := cl.Leader.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(total) {
+		t.Fatalf("count = %d, want %d", n, total)
+	}
+	got, err := scheme.Decode(agg, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != want {
+		t.Errorf("aggregate = %v, want %d", got, want)
 	}
 }

@@ -134,18 +134,20 @@ func (s *Server[Fd, E]) handleSetChallenge(payload []byte) ([]byte, error) {
 		st.ev = sys.NewEvaluator(ch.sn)
 	}
 	// Challenge IDs carry their leader session in the top 16 bits; each
-	// session keeps a window of two live challenges (the newest plus its
-	// predecessor, which in-flight batches may still reference), so
-	// concurrent leader sessions rotate independently without evicting one
-	// another's verification state.
+	// session keeps a window of three live challenges (the newest plus two
+	// predecessors), so concurrent leader sessions rotate independently
+	// without evicting one another's verification state. Three, not two,
+	// because leaders prefetch: the next challenge is broadcast while
+	// batches may still be in flight on the previous one, so "newest" runs
+	// one step ahead of the challenge verification actually uses.
 	ns := id >> 16
 	s.mu.Lock()
 	s.challenges[id] = st
 	if prev, ok := s.lastChall[ns]; ok && prev != id {
-		// Evict prev's predecessor within the namespace. The counter is
-		// masked to 16 bits (matching ensureChallenge's increment) so a
-		// wrapping session never deletes a neighboring namespace's slot.
-		delete(s.challenges, ns<<16|(prev-1)&0xFFFF)
+		// Evict the slot falling out of the window. The counter is masked
+		// to 16 bits (matching ensureChallenge's increment) so a wrapping
+		// session never deletes a neighboring namespace's slot.
+		delete(s.challenges, ns<<16|(prev-2)&0xFFFF)
 	}
 	s.lastChall[ns] = id
 	s.mu.Unlock()

@@ -1,0 +1,331 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prio/internal/core"
+	"prio/internal/transport"
+)
+
+// Sink is where decoded submissions go: the verification pipeline, or a
+// stand-in for tests. core.Pipeline implements it.
+type Sink interface {
+	// SubmitFunc enqueues one submission, blocking while the sink is
+	// saturated, and invokes fn with the decision once it is made.
+	SubmitFunc(sub *core.Submission, fn func(core.SubmitResult)) error
+	// TrySubmitFunc is the non-blocking SubmitFunc: false means the sink's
+	// queue was full and fn will never run.
+	TrySubmitFunc(sub *core.Submission, fn func(core.SubmitResult)) (bool, error)
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCredits    = 64
+	DefaultQueueDepth = 1024
+)
+
+// Config tunes the server side of the ingest subsystem.
+type Config struct {
+	// Credits is the per-stream window: how many submissions one stream may
+	// have un-acked. A compliant client stalls at this bound, so the
+	// server's per-stream memory exposure is fixed (default 64).
+	Credits int
+	// QueueDepth bounds the intake queue buffering submissions the pipeline
+	// could not take immediately. Arrivals beyond it are shed. Keep it at
+	// least Credits, or a single fast stream can be shed under a slow
+	// pipeline (default 1024).
+	QueueDepth int
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Credits <= 0 {
+		c.Credits = DefaultCredits
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// intakeItem is one submission parked in the intake queue because the
+// pipeline was momentarily full.
+type intakeItem struct {
+	st  *stream
+	id  uint64
+	sub *core.Submission
+}
+
+// Server terminates ingest streams: it decodes pipelined submission frames,
+// routes them into the Sink with credit-based backpressure, and acks each
+// decision back on the stream that submitted it. Register Handler with a
+// transport server's OnStream.
+type Server struct {
+	sink Sink
+	cfg  Config
+
+	intake chan intakeItem
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	stats Stats
+
+	mu       sync.Mutex
+	streams  map[uint64]*stream
+	streamWG sync.WaitGroup // active handleStream readers
+	nextID   uint64
+	closed   bool
+}
+
+// NewServer builds an ingest server feeding sink and starts its intake pump.
+func NewServer(sink Sink, cfg Config) *Server {
+	s := &Server{
+		sink:    sink,
+		cfg:     cfg.withDefaults(),
+		quit:    make(chan struct{}),
+		streams: make(map[uint64]*stream),
+	}
+	s.intake = make(chan intakeItem, s.cfg.QueueDepth)
+	s.wg.Add(1)
+	go s.pump()
+	return s
+}
+
+// Handler returns the transport.StreamHandler terminating ingest streams.
+func (s *Server) Handler() transport.StreamHandler {
+	return s.handleStream
+}
+
+// Stats returns the aggregate counters across all streams, past and present.
+func (s *Server) Stats() Stats { return s.stats.Snapshot() }
+
+// StreamSnapshot pairs an active stream's ID with its counters.
+type StreamSnapshot struct {
+	ID    uint64
+	Stats Stats
+}
+
+// StreamStats snapshots every active stream's counters.
+func (s *Server) StreamStats() []StreamSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StreamSnapshot, 0, len(s.streams))
+	for _, st := range s.streams {
+		out = append(out, StreamSnapshot{ID: st.id, Stats: st.stats.Snapshot()})
+	}
+	return out
+}
+
+// Close refuses new streams, drops the active ones, and stops the intake
+// pump. Ordering matters: the stream readers are gone before the pump, so
+// no submission can be parked in the intake queue after its final drain —
+// every received submission is either acked or died with its stream.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, st := range s.streams {
+		st.kill()
+	}
+	s.mu.Unlock()
+	s.streamWG.Wait()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// pump drains the intake queue into the sink's blocking path. Items land in
+// intake only when the pipeline's own queue was full, so the pump spends its
+// time blocked in SubmitFunc — exactly the backpressure point — while the
+// per-stream readers stay responsive for acks and sheds.
+func (s *Server) pump() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			for {
+				select {
+				case it := <-s.intake:
+					it.st.finish(it.id, StatusFailed)
+				default:
+					return
+				}
+			}
+		case it := <-s.intake:
+			if err := s.sink.SubmitFunc(it.sub, func(r core.SubmitResult) {
+				it.st.finish(it.id, statusOf(r))
+			}); err != nil {
+				it.st.finish(it.id, StatusFailed)
+			}
+		}
+	}
+}
+
+// stream is the server side of one ingest connection.
+type stream struct {
+	id  uint64
+	srv *Server
+	fc  *transport.FrameConn
+
+	credits int64 // remaining window, server's view (atomic)
+	acks    chan ackEntry
+	dead    chan struct{}
+	once    sync.Once
+	stats   Stats
+}
+
+// kill marks the stream dead and closes its connection, releasing anything
+// blocked on either (the reader in ReadFrame, the ack writer in Flush).
+// Decisions arriving from the pipeline afterwards are dropped; the client
+// is gone.
+func (st *stream) kill() {
+	st.once.Do(func() {
+		close(st.dead)
+		st.fc.Close()
+	})
+}
+
+// finish records one decision and queues its ack. It runs on pipeline shard
+// goroutines (whose contract is that it must NEVER block) and on the stream
+// reader. The ack channel outgrows the credit window, so a compliant client
+// cannot fill it: an overflow means the client overran its credits while
+// not draining acks (or stopped reading entirely, wedging the ack writer
+// against a full socket). Such a stream is dropped rather than allowed to
+// stall a verification shard.
+func (st *stream) finish(id uint64, status AckStatus) {
+	st.stats.countAck(status)
+	st.srv.stats.countAck(status)
+	atomic.AddInt64(&st.credits, 1)
+	select {
+	case st.acks <- ackEntry{id: id, status: status}:
+	case <-st.dead:
+	default:
+		st.kill()
+	}
+}
+
+// handleStream runs the per-connection protocol: hello, then a read loop
+// feeding the sink, with a parallel ack writer batching decisions back.
+func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
+	if string(open) != magic {
+		fc.WriteFrame(transport.MsgError, []byte(fmt.Sprintf("ingest: unknown subprotocol %q", open)))
+		fc.Flush()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		fc.WriteFrame(transport.MsgError, []byte("ingest: server is shut down"))
+		fc.Flush()
+		return
+	}
+	s.nextID++
+	st := &stream{
+		id:      s.nextID,
+		srv:     s,
+		fc:      fc,
+		credits: int64(s.cfg.Credits),
+		acks:    make(chan ackEntry, s.cfg.Credits+16),
+		dead:    make(chan struct{}),
+	}
+	s.streams[st.id] = st
+	s.streamWG.Add(1)
+	s.mu.Unlock()
+	atomic.AddUint64(&s.stats.Streams, 1)
+
+	defer func() {
+		st.kill()
+		s.mu.Lock()
+		delete(s.streams, st.id)
+		s.mu.Unlock()
+		s.streamWG.Done()
+	}()
+
+	hello := binary.LittleEndian.AppendUint32(nil, uint32(s.cfg.Credits))
+	if err := fc.WriteFrame(msgHello, hello); err != nil {
+		return
+	}
+	if err := fc.Flush(); err != nil {
+		return
+	}
+	go st.ackLoop(fc)
+
+	for {
+		msgType, payload, err := fc.ReadFrame()
+		if err != nil {
+			return // client closed (or conn died): teardown
+		}
+		if msgType != msgSubmit {
+			fc.WriteFrame(transport.MsgError, []byte(fmt.Sprintf("ingest: unexpected frame type %#x", msgType)))
+			fc.Flush()
+			return
+		}
+		id, sub, err := decodeSubmit(payload)
+		if err != nil {
+			fc.WriteFrame(transport.MsgError, []byte(err.Error()))
+			fc.Flush()
+			return
+		}
+		atomic.AddUint64(&st.stats.Received, 1)
+		atomic.AddUint64(&s.stats.Received, 1)
+
+		// Spend one credit. A submission past the granted window is shed
+		// unverified; its ack (like every ack) hands the credit back, so a
+		// client that raced a little ahead recovers instead of wedging.
+		if atomic.AddInt64(&st.credits, -1) < 0 {
+			st.finish(id, StatusShed)
+			continue
+		}
+
+		// Fast path: hand the submission straight to the pipeline. When the
+		// pipeline is momentarily full, park it in the bounded intake queue
+		// for the pump; when that is full too, shed.
+		ok, err := s.sink.TrySubmitFunc(sub, func(r core.SubmitResult) {
+			st.finish(id, statusOf(r))
+		})
+		if err != nil {
+			st.finish(id, StatusFailed)
+			continue
+		}
+		if ok {
+			continue
+		}
+		select {
+		case s.intake <- intakeItem{st: st, id: id, sub: sub}:
+		default:
+			st.finish(id, StatusShed)
+		}
+	}
+}
+
+// ackLoop batches decided submissions into ack frames. One frame per wakeup
+// amortizes framing and flushes across every decision ready at that moment.
+func (st *stream) ackLoop(fc *transport.FrameConn) {
+	defer st.kill() // a dead writer must also release the reader
+	batch := make([]ackEntry, 0, 64)
+	for {
+		select {
+		case a := <-st.acks:
+			batch = append(batch[:0], a)
+		drain:
+			for len(batch) < cap(batch) {
+				select {
+				case a := <-st.acks:
+					batch = append(batch, a)
+				default:
+					break drain
+				}
+			}
+			if err := writeAcks(fc, batch); err != nil {
+				return
+			}
+		case <-st.dead:
+			return
+		}
+	}
+}

@@ -17,5 +17,11 @@
 //     many leader sessions against the same server set; coalescing keeps
 //     their per-round RPCs from queuing head-to-tail on each server
 //     connection, the transport-level half of the Appendix-I
-//     load-balancing design.
+//     load-balancing design;
+//   - a streaming mode (MsgStreamOpen, StreamHandler, FrameConn): a
+//     connection leaves request/response dispatch and hands its raw frames
+//     to a subprotocol handler, with buffered, concurrency-safe writes.
+//     The streaming ingest subsystem (internal/ingest, docs/INGEST.md)
+//     uses it to pipeline many client submissions per connection with
+//     asynchronous acks.
 package transport

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStreamEcho drives the streaming mode end to end: a connection opens a
+// stream, pipelines several frames without waiting, and reads the echoes
+// back in order.
+func TestStreamEcho(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, func(msgType byte, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.OnStream(func(open []byte, conn *FrameConn) {
+		if string(open) != "echo/1" {
+			conn.WriteFrame(MsgError, []byte("bad subprotocol"))
+			conn.Flush()
+			return
+		}
+		for {
+			msgType, payload, err := conn.ReadFrame()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteFrame(msgType, payload); err != nil {
+				return
+			}
+			if err := conn.Flush(); err != nil {
+				return
+			}
+		}
+	})
+
+	fc, err := DialStream(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.WriteFrame(MsgStreamOpen, []byte("echo/1")); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := fc.WriteFrame(0x10, []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		msgType, payload, err := fc.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msgType != 0x10 || !bytes.Equal(payload, []byte(fmt.Sprintf("frame-%d", i))) {
+			t.Fatalf("frame %d: got type %d payload %q", i, msgType, payload)
+		}
+	}
+}
+
+// TestStreamOpenWithoutHandler checks that a stream open on a server with no
+// stream handler is answered with a MsgError frame.
+func TestStreamOpenWithoutHandler(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, func(msgType byte, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fc, err := DialStream(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.WriteFrame(MsgStreamOpen, []byte("any/1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := fc.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgError || !strings.Contains(string(payload), "no stream handler") {
+		t.Fatalf("got type %d payload %q, want MsgError", msgType, payload)
+	}
+}
+
+// TestStreamConcurrentWriters checks WriteFrame's serialization: frames from
+// many goroutines must interleave whole, never byte-wise.
+func TestStreamConcurrentWriters(t *testing.T) {
+	got := make(chan []byte, 256)
+	srv, err := Listen("127.0.0.1:0", nil, func(byte, []byte) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.OnStream(func(open []byte, conn *FrameConn) {
+		for {
+			_, payload, err := conn.ReadFrame()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- append([]byte(nil), payload...)
+		}
+	})
+
+	fc, err := DialStream(srv.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteFrame(MsgStreamOpen, nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, frames = 8, 16
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + w)}, 100+w)
+			for i := 0; i < frames; i++ {
+				if err := fc.WriteFrame(0x11, payload); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	count := 0
+	for payload := range got {
+		if len(payload) < 100 {
+			t.Fatalf("torn frame of %d bytes", len(payload))
+		}
+		for _, b := range payload {
+			if b != payload[0] {
+				t.Fatalf("interleaved frame %q", payload)
+			}
+		}
+		count++
+	}
+	if count != writers*frames {
+		t.Fatalf("received %d frames, want %d", count, writers*frames)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"crypto/x509/pkix"
+	"fmt"
 	"math/big"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -80,6 +82,7 @@ type Server struct {
 	h      Handler
 	wg     sync.WaitGroup
 	mu     sync.Mutex
+	stream StreamHandler
 	conns  map[net.Conn]struct{}
 	closed bool
 }
@@ -110,6 +113,17 @@ func Listen(addr string, tlsCfg *tls.Config, h Handler) (*Server, error) {
 
 // Addr returns the listener's address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// OnStream registers the handler for MsgStreamOpen frames. A connection that
+// sends one leaves request/response dispatch for good: the handler owns its
+// frames until it returns, after which the connection is closed. Without a
+// registered handler, stream opens are answered with a MsgError frame and
+// the connection is dropped.
+func (s *Server) OnStream(h StreamHandler) {
+	s.mu.Lock()
+	s.stream = h
+	s.mu.Unlock()
+}
 
 // Close stops accepting, tears down active connections, and waits for the
 // handler goroutines to drain.
@@ -152,6 +166,17 @@ func (s *Server) acceptLoop() {
 			for {
 				msgType, payload, err := readFrame(conn)
 				if err != nil {
+					return
+				}
+				if msgType == MsgStreamOpen {
+					s.mu.Lock()
+					sh := s.stream
+					s.mu.Unlock()
+					if sh == nil {
+						_ = writeFrame(conn, MsgError, []byte("transport: no stream handler"))
+						return
+					}
+					sh(payload, NewFrameConn(conn))
 					return
 				}
 				resp, herr := s.h(msgType, payload)
@@ -206,4 +231,41 @@ func SelfSignedTLS(host string) (serverCfg, clientCfg *tls.Config, err error) {
 	serverCfg = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}
 	clientCfg = &tls.Config{RootCAs: pool, ServerName: host, MinVersion: tls.VersionTLS13}
 	return serverCfg, clientCfg, nil
+}
+
+// LoadServerTLS builds a server-side TLS configuration. With certFile and
+// keyFile set it loads the pinned PEM pair; with both empty it falls back to
+// a fresh self-signed certificate for host, which gives the channel
+// confidentiality the paper assumes (§6.2) without a PKI — peers then either
+// pin the certificate out of band or dial unauthenticated.
+func LoadServerTLS(certFile, keyFile, host string) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" {
+		cfg, _, err := SelfSignedTLS(host)
+		return cfg, err
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}, nil
+}
+
+// ClientTLS builds a client-side TLS configuration. With caFile set, the
+// dialed server must present a certificate chaining to that PEM bundle
+// (pinning). With caFile empty, the connection is encrypted but the server
+// unauthenticated — the default for self-signed deployments, where pinning
+// requires distributing the generated certificate first.
+func ClientTLS(caFile string) (*tls.Config, error) {
+	if caFile == "" {
+		return &tls.Config{InsecureSkipVerify: true, MinVersion: tls.VersionTLS13}, nil
+	}
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("transport: no certificates in %s", caFile)
+	}
+	return &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS13}, nil
 }

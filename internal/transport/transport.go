@@ -159,13 +159,14 @@ func (p *LoopbackPeer) Stats() *Stats { return &p.stats }
 // Close implements Peer.
 func (p *LoopbackPeer) Close() error { return nil }
 
-// errorResponse wraps handler failures for transmission: type 0xFF frames
-// carry an error string.
-const msgError = 0xFF
+// MsgError is the reserved frame type wrapping handler failures for
+// transmission: its payload is the error string. Streaming subprotocols use
+// it too, to report a fatal stream error before closing.
+const MsgError byte = 0xFF
 
 func encodeHandlerResult(msgType byte, resp []byte, err error) (byte, []byte) {
 	if err != nil {
-		return msgError, []byte(err.Error())
+		return MsgError, []byte(err.Error())
 	}
 	return msgType, resp
 }
@@ -174,7 +175,7 @@ func decodeCallResult(reqType, respType byte, payload []byte) ([]byte, error) {
 	switch respType {
 	case reqType:
 		return payload, nil
-	case msgError:
+	case MsgError:
 		return nil, fmt.Errorf("transport: remote error: %s", payload)
 	default:
 		return nil, ErrTypeMismatch

@@ -40,11 +40,13 @@
 package prio
 
 import (
+	"crypto/tls"
 	"io"
 
 	"prio/internal/afe"
 	"prio/internal/core"
 	"prio/internal/field"
+	"prio/internal/ingest"
 	"prio/internal/sealbox"
 	"prio/internal/transport"
 )
@@ -120,6 +122,38 @@ type (
 	PipelineConfig = core.PipelineConfig
 	// ShardStats reports a Pipeline's merged (or per-shard) work counters.
 	ShardStats = core.ShardStats
+	// SubmitResult reports one submission's verification outcome.
+	SubmitResult = core.SubmitResult
+)
+
+// Streaming ingest types, aliased from internal/ingest (see docs/INGEST.md).
+type (
+	// StreamSubmitter holds a persistent connection to the leader and
+	// pipelines many submissions in flight, with asynchronous per-submission
+	// acks matched by ID and credit-based backpressure.
+	StreamSubmitter = ingest.StreamSubmitter
+	// SubmitterConfig tunes a StreamSubmitter (TLS, ack callback).
+	SubmitterConfig = ingest.SubmitterConfig
+	// SubmitterStats counts a StreamSubmitter's submissions and outcomes.
+	SubmitterStats = ingest.SubmitterStats
+	// Ack is one asynchronous per-submission decision.
+	Ack = ingest.Ack
+	// AckStatus is the decision carried by an Ack.
+	AckStatus = ingest.AckStatus
+	// IngestServer terminates ingest streams in front of a Pipeline.
+	IngestServer = ingest.Server
+	// IngestConfig tunes an IngestServer (per-stream credits, intake queue).
+	IngestConfig = ingest.Config
+	// IngestStats counts an IngestServer's streams and outcomes.
+	IngestStats = ingest.Stats
+)
+
+// Ack statuses, re-exported from internal/ingest.
+const (
+	StatusRejected = ingest.StatusRejected
+	StatusAccepted = ingest.StatusAccepted
+	StatusShed     = ingest.StatusShed
+	StatusFailed   = ingest.StatusFailed
 )
 
 // NewProtocol validates a Config and precomputes the proof systems.
@@ -161,32 +195,66 @@ func NewServer(pro *Protocol, idx int) (*Server, error) {
 // Listener accepts protocol connections for a Server.
 type Listener = transport.Server
 
-// ListenAndServe exposes a server on a TCP address (":0" picks a free
-// port). Pass the returned listener's Addr to peers and clients.
+// ListenAndServe exposes a server on a plaintext TCP address (":0" picks a
+// free port). Pass the returned listener's Addr to peers and clients.
+// Production deployments should prefer ListenAndServeTLS (§6.2: the paper's
+// servers always speak TLS); cmd/prio-server defaults to it.
 func ListenAndServe(addr string, srv *Server) (*Listener, error) {
-	return transport.Listen(addr, nil, srv.Handler())
+	return ListenAndServeTLS(addr, srv, nil)
 }
 
-// ConnectLeader makes srv the deployment leader, connecting to every other
-// server by address. addrs must have one entry per server index; the entry
-// for srv itself is ignored (a loopback is used). Dialed peers are wrapped
-// in request coalescers, so concurrent leader sessions (NewPipeline) merge
-// their in-flight rounds into batched frames on each connection; a serial
-// leader passes through the coalescer untouched.
+// ListenAndServeTLS exposes a server on a TCP address, requiring TLS when
+// tlsCfg is non-nil (see transport.LoadServerTLS for building one from a
+// certificate pair or a self-signed fallback).
+func ListenAndServeTLS(addr string, srv *Server, tlsCfg *tls.Config) (*Listener, error) {
+	return transport.Listen(addr, tlsCfg, srv.Handler())
+}
+
+// ConnectLeader makes srv the deployment leader over plaintext TCP; see
+// ConnectLeaderTLS.
 func ConnectLeader(srv *Server, addrs []string) (*Leader, error) {
+	return ConnectLeaderTLS(srv, addrs, nil)
+}
+
+// ConnectLeaderTLS makes srv the deployment leader, connecting to every
+// other server by address (with TLS when tlsCfg is non-nil). addrs must have
+// one entry per server index; the entry for srv itself is ignored (a
+// loopback is used). Dialed peers are wrapped in request coalescers, so
+// concurrent leader sessions (NewPipeline) merge their in-flight rounds into
+// batched frames on each connection; a serial leader passes through the
+// coalescer untouched.
+func ConnectLeaderTLS(srv *Server, addrs []string, tlsCfg *tls.Config) (*Leader, error) {
 	peers := make([]transport.Peer, len(addrs))
 	for i, addr := range addrs {
 		if i == srv.Index() {
 			peers[i] = &transport.LoopbackPeer{Handler: srv.Handler()}
 			continue
 		}
-		p, err := transport.Dial(addr, nil)
+		p, err := transport.Dial(addr, tlsCfg)
 		if err != nil {
 			return nil, err
 		}
 		peers[i] = transport.NewCoalescer(p)
 	}
 	return core.NewLeader(srv, peers)
+}
+
+// ServeIngest registers the streaming ingest subsystem on a leader's
+// listener: stream opens on ln are terminated by a new IngestServer feeding
+// pl with credit-based backpressure. Returns the ingest server for stats
+// and shutdown. Clients connect with OpenStream.
+func ServeIngest(ln *Listener, pl *Pipeline, cfg IngestConfig) *IngestServer {
+	ing := ingest.NewServer(pl, cfg)
+	ln.OnStream(ing.Handler())
+	return ing
+}
+
+// OpenStream dials a leader's streaming ingest endpoint. The returned
+// StreamSubmitter pipelines submissions over the one connection until the
+// server's credit window fills; acks arrive asynchronously via
+// cfg.OnAck and Wait drains them.
+func OpenStream(addr string, cfg SubmitterConfig) (*StreamSubmitter, error) {
+	return ingest.Dial(addr, cfg)
 }
 
 // NewPipeline builds a sharded aggregation pipeline in front of leader's
@@ -197,9 +265,16 @@ func NewPipeline(leader *Leader, cfg PipelineConfig) (*Pipeline, error) {
 	return core.NewPipeline(leader, cfg)
 }
 
-// FetchPublicKey retrieves a remote server's sealbox key.
+// FetchPublicKey retrieves a remote server's sealbox key over plaintext
+// TCP; see FetchPublicKeyTLS.
 func FetchPublicKey(addr string) (*ServerPublicKey, error) {
-	p, err := transport.Dial(addr, nil)
+	return FetchPublicKeyTLS(addr, nil)
+}
+
+// FetchPublicKeyTLS retrieves a remote server's sealbox key, with TLS when
+// tlsCfg is non-nil.
+func FetchPublicKeyTLS(addr string, tlsCfg *tls.Config) (*ServerPublicKey, error) {
+	p, err := transport.Dial(addr, tlsCfg)
 	if err != nil {
 		return nil, err
 	}
