@@ -1,0 +1,109 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"prio/internal/afe"
+	"prio/internal/field"
+	"prio/internal/prg"
+	"prio/internal/snip"
+)
+
+// figBatchVerify measures the batched SNIP verification extension against
+// the per-submission baseline (see docs/VERIFY.md): amortized ns per
+// verified submission as the batch size grows, on one verifying server with
+// the Figure 4 circuit shape (256 one-bit integers). The batch path pays a
+// single gate-major circuit walk and one random-linear-combination check
+// for the whole batch, so its curve flattens out well below the baseline's.
+func figBatchVerify() {
+	fmt.Println("== BatchVerify: amortized verification time vs batch size (L = 256, s = 1) ==")
+	scheme := afe.NewBitVector(f64, 256)
+	sys, err := snip.NewSystem(f64, scheme.Circuit(), snip.Params{Reps: 1})
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	ch, err := sys.NewChallenge(rand.Reader)
+	if err != nil {
+		log.Fatalf("prio-bench: %v", err)
+	}
+	ev := sys.NewEvaluator(ch)
+	bv := ev.Batch()
+
+	batches := []int{16, 64, 256}
+	if *full {
+		batches = []int{16, 64, 256, 1024}
+	}
+	minDur := 200 * time.Millisecond
+
+	fmt.Printf("%-8s | %-14s %-14s %-10s\n", "batch", "per-sub ns", "batch ns", "speedup")
+	for _, b := range batches {
+		xs, pfs := batchProofs(sys, scheme, b)
+		per := timePerOp(minDur, func() {
+			for j := 0; j < b; j++ {
+				st, m, err := ev.Round1(xs[j], pfs[j], true)
+				if err != nil {
+					log.Fatalf("prio-bench: %v", err)
+				}
+				op := snip.SumRound1(f64, []*snip.Round1[uint64]{m})
+				if !ev.Decide([]*snip.Round2[uint64]{ev.Round2(st, op, 1)}) {
+					log.Fatal("prio-bench: honest submission rejected")
+				}
+			}
+		})
+		bat := timePerOp(minDur, func() {
+			st, msgs, err := bv.Round1(xs, pfs, true)
+			if err != nil {
+				log.Fatalf("prio-bench: %v", err)
+			}
+			opened := make([]*snip.Round1[uint64], b)
+			for j := range opened {
+				opened[j] = snip.SumRound1(f64, []*snip.Round1[uint64]{msgs[j]})
+			}
+			if err := bv.SetOpened(st, opened, 1); err != nil {
+				log.Fatalf("prio-bench: %v", err)
+			}
+			var seed prg.Seed
+			if _, err := rand.Read(seed[:]); err != nil {
+				log.Fatalf("prio-bench: %v", err)
+			}
+			r2, err := bv.Combined(st, snip.RLCCoeffs(f64, seed, b), 0, b)
+			if err != nil {
+				log.Fatalf("prio-bench: %v", err)
+			}
+			if !ev.Decide([]*snip.Round2[uint64]{r2}) {
+				log.Fatal("prio-bench: honest batch rejected")
+			}
+		})
+		perSub := float64(per.Nanoseconds()) / float64(b)
+		batSub := float64(bat.Nanoseconds()) / float64(b)
+		fmt.Printf("%-8d | %-14.0f %-14.0f %-10s\n", b, perSub, batSub,
+			fmt.Sprintf("%.2fx", perSub/batSub))
+	}
+	fmt.Println("\nshape check: batch ns/verification flattens as the shared circuit walk")
+	fmt.Println("and single RLC check amortize; the speedup should exceed 3x by batch 64.")
+}
+
+// batchProofs proves b honest bit-vector submissions.
+func batchProofs(sys *snip.System[field.F64, uint64], scheme *afe.BitVector[field.F64, uint64], b int) ([][]uint64, []*snip.Proof[uint64]) {
+	l := scheme.K()
+	xs := make([][]uint64, b)
+	pfs := make([]*snip.Proof[uint64], b)
+	bits := make([]bool, l)
+	for i := range xs {
+		for j := range bits {
+			bits[j] = (i+j)%3 == 0
+		}
+		enc, err := scheme.Encode(bits)
+		if err != nil {
+			log.Fatalf("prio-bench: %v", err)
+		}
+		xs[i] = enc
+		if pfs[i], err = sys.Prove(enc, rand.Reader); err != nil {
+			log.Fatalf("prio-bench: %v", err)
+		}
+	}
+	return xs, pfs
+}

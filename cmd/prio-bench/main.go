@@ -12,6 +12,7 @@
 //	prio-bench table9   — server throughput for d-dim regression
 //	prio-bench pipeline — throughput vs concurrent verification shards
 //	prio-bench ingest   — streamed vs round-trip submission throughput
+//	prio-bench batchverify — batched vs per-submission SNIP verification
 //	prio-bench all      — everything above, in order
 //
 // Absolute numbers differ from the paper's 2016 EC2 testbed; the shapes —
@@ -35,19 +36,20 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	experiments := map[string]func(){
-		"table2":   table2,
-		"table3":   table3,
-		"fig4":     fig4,
-		"fig5":     fig5,
-		"fig6":     fig6,
-		"fig7":     fig7,
-		"fig8":     fig8,
-		"table9":   table9,
-		"pipeline": figPipeline,
-		"ingest":   figIngest,
+		"table2":      table2,
+		"table3":      table3,
+		"fig4":        fig4,
+		"fig5":        fig5,
+		"fig6":        fig6,
+		"fig7":        fig7,
+		"fig8":        fig8,
+		"table9":      table9,
+		"pipeline":    figPipeline,
+		"ingest":      figIngest,
+		"batchverify": figBatchVerify,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline", "ingest"} {
+		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline", "ingest", "batchverify"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -61,6 +63,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|all}")
+	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|batchverify|all}")
 	os.Exit(2)
 }

@@ -1,0 +1,91 @@
+package circuit
+
+import "prio/internal/field"
+
+// EvalSharesBatchF64 is the gate-major, slab-vectorized counterpart of
+// EvalShares over the Goldilocks field: it walks the circuit once for a whole
+// batch of submissions, with every wire holding a lane-per-submission slab.
+// Gate dispatch is paid once per gate instead of once per gate per
+// submission, and the per-lane arithmetic runs through the monomorphic field
+// kernels instead of the generics dictionary.
+//
+// xShares[i] is submission i's input share (length NumInputs); hAtMul[t] is
+// the lane slab of the submissions' shares of h(ω_{t+1}) for multiplication
+// gate t. The returned U, V (length M) and assertion (length len(Asserts))
+// slabs have one lane per submission and alias pooled backing arrays: callers
+// must consume them and then call release, after which the slabs are invalid.
+func EvalSharesBatchF64(c *Circuit[uint64], xShares [][]uint64, hAtMul [][]uint64, includeConst bool) (u, v, asserts [][]uint64, release func()) {
+	b := len(xShares)
+	for _, x := range xShares {
+		if len(x) != c.NumInputs {
+			panic("circuit: EvalSharesBatchF64 input length mismatch")
+		}
+	}
+	if len(hAtMul) != c.M() {
+		panic("circuit: EvalSharesBatchF64 needs one h slab per multiplication gate")
+	}
+	for _, h := range hAtMul {
+		if len(h) != b {
+			panic("circuit: EvalSharesBatchF64 h slab length mismatch")
+		}
+	}
+	// Lane-major gather of the submissions' input shares. Both backings come
+	// from the slab pool uninitialized: every input lane is written by the
+	// gather, and every wire lane is written by its gate (OpConst lanes are
+	// cleared explicitly below when this server does not carry constants).
+	in := make([][]uint64, c.NumInputs)
+	inBack := field.GetSlabUninit(c.NumInputs * b)
+	for a := range in {
+		in[a] = inBack[a*b : (a+1)*b]
+	}
+	// Transpose input-major (a outer): sequential writes per lane, and the
+	// per-submission reads at consecutive offsets stay cache-resident.
+	for a := range in {
+		lane := in[a]
+		for i, x := range xShares {
+			lane[i] = x[a]
+		}
+	}
+	w := make([][]uint64, len(c.Gates))
+	wBack := field.GetSlabUninit(len(c.Gates) * b)
+	for i := range w {
+		w[i] = wBack[i*b : (i+1)*b]
+	}
+	mul := 0
+	u = make([][]uint64, 0, c.M())
+	v = make([][]uint64, 0, c.M())
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpInput:
+			copy(w[i], in[g.A])
+		case OpConst:
+			if includeConst {
+				for j := range w[i] {
+					w[i][j] = g.K
+				}
+			} else {
+				clear(w[i])
+			}
+		case OpAdd:
+			field.AddSlice(w[i], w[g.A], w[g.B])
+		case OpSub:
+			field.SubSlice(w[i], w[g.A], w[g.B])
+		case OpMul:
+			u = append(u, w[g.A])
+			v = append(v, w[g.B])
+			copy(w[i], hAtMul[mul])
+			mul++
+		case OpMulConst:
+			field.ScaleSlice(w[i], w[g.A], g.K)
+		}
+	}
+	asserts = make([][]uint64, len(c.Asserts))
+	for k, a := range c.Asserts {
+		asserts[k] = w[a]
+	}
+	release = func() {
+		field.PutSlab(inBack)
+		field.PutSlab(wBack)
+	}
+	return u, v, asserts, release
+}

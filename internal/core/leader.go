@@ -8,6 +8,7 @@ import (
 
 	"prio/internal/field"
 	"prio/internal/mpc"
+	"prio/internal/prg"
 	"prio/internal/sealbox"
 	"prio/internal/snip"
 	"prio/internal/transport"
@@ -340,34 +341,56 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 		}
 	}
 
-	// Round 2: broadcast the opened masks, collect σ/τ shares.
-	w := &wbuf{}
-	w.u32(challID)
-	w.u64(batchID)
-	for j := 0; j < count; j++ {
-		wvec(w, f, opened[j].D)
-		wvec(w, f, opened[j].E)
+	// The leader needs its own challenge state to sum and decide shares.
+	l.Server.mu.Lock()
+	chSt := l.Server.challenges[challID]
+	l.Server.mu.Unlock()
+	if chSt == nil {
+		return nil, errors.New("core: leader lost its own challenge state")
 	}
-	r2resps, err := l.broadcast(MsgRound2, l.same(w.b))
-	if err != nil {
-		return nil, err
-	}
-	r2 := make([][]*snip.Round2[E], count) // [submission][server]
-	for j := range r2 {
-		r2[j] = make([]*snip.Round2[E], p.Cfg.Servers)
-	}
-	for i, resp := range r2resps {
-		r := &rbuf{b: resp}
+
+	// Round 2: establish per-submission accept verdicts for the SNIP check,
+	// either through the amortized batch probes (default) or the legacy
+	// per-submission exchange.
+	var snipOK []bool
+	if p.Cfg.DisableBatchVerify {
+		w := &wbuf{}
+		w.u32(challID)
+		w.u64(batchID)
 		for j := 0; j < count; j++ {
-			sig := rvec(r, f, reps)
-			tau := rvec(r, f, 1)
-			if r.err != nil {
-				return nil, fmt.Errorf("core: bad Round2 response from server %d", i)
-			}
-			r2[j][i] = &snip.Round2[E]{Sigma: sig, Tau: tau[0]}
+			wvec(w, f, opened[j].D)
+			wvec(w, f, opened[j].E)
 		}
-		if !r.done() {
-			return nil, fmt.Errorf("core: trailing bytes in Round2 response from server %d", i)
+		r2resps, err := l.broadcast(MsgRound2, l.same(w.b))
+		if err != nil {
+			return nil, err
+		}
+		r2 := make([][]*snip.Round2[E], count) // [submission][server]
+		for j := range r2 {
+			r2[j] = make([]*snip.Round2[E], p.Cfg.Servers)
+		}
+		for i, resp := range r2resps {
+			r := &rbuf{b: resp}
+			for j := 0; j < count; j++ {
+				sig := rvec(r, f, reps)
+				tau := rvec(r, f, 1)
+				if r.err != nil {
+					return nil, fmt.Errorf("core: bad Round2 response from server %d", i)
+				}
+				r2[j][i] = &snip.Round2[E]{Sigma: sig, Tau: tau[0]}
+			}
+			if !r.done() {
+				return nil, fmt.Errorf("core: trailing bytes in Round2 response from server %d", i)
+			}
+		}
+		snipOK = make([]bool, count)
+		for j := 0; j < count; j++ {
+			snipOK[j] = chSt.ev.Decide(r2[j])
+		}
+	} else {
+		var err error
+		if snipOK, err = l.batchVerify(chSt, challID, batchID, count, reps, opened); err != nil {
+			return nil, err
 		}
 	}
 
@@ -429,16 +452,10 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	}
 
 	// Decide and broadcast the accept bitmap.
-	l.Server.mu.Lock()
-	chSt := l.Server.challenges[challID]
-	l.Server.mu.Unlock()
-	if chSt == nil {
-		return nil, errors.New("core: leader lost its own challenge state")
-	}
 	accepts := make([]bool, count)
 	bitmap := make([]byte, (count+7)/8)
 	for j := 0; j < count; j++ {
-		ok := chSt.ev.Decide(r2[j])
+		ok := snipOK[j]
 		if p.Cfg.Mode == ModeMPC {
 			ok = ok && f.IsZero(validTau[j])
 		}
@@ -455,6 +472,76 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 		return nil, err
 	}
 	return accepts, nil
+}
+
+// batchVerify drives the amortized SNIP check: one MsgRound2Batch probe over
+// the full batch (shipping the opened masks along), then — only if the
+// combined check fails — a bisection over subranges, each probe under a
+// fresh crypto/rand-derived λ seed. Singleton probes are exactly the
+// per-submission test, so the returned verdicts match the legacy path's;
+// interior probes err on the side of accepting a range only when its
+// combined share sums to zero, which a range containing an invalid
+// submission survives with probability ≈ 2/|F| per probe.
+//
+// The worst case (every submission invalid) costs 2·count−1 probes; the
+// common all-honest case costs exactly one.
+func (l *Leader[Fd, E]) batchVerify(chSt *challState[Fd, E], challID uint32, batchID uint64, count, reps int, opened []*snip.Round1[E]) ([]bool, error) {
+	p := l.pro
+	f := p.Cfg.Field
+	ok := make([]bool, count)
+	type span struct{ lo, hi int }
+	stack := []span{{0, count}}
+	first := true
+	for len(stack) > 0 {
+		sp := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var seed [prg.SeedSize]byte
+		if _, err := rand.Read(seed[:]); err != nil {
+			return nil, err
+		}
+		w := &wbuf{}
+		w.u32(challID)
+		w.u64(batchID)
+		if first {
+			w.u8(1)
+			for j := 0; j < count; j++ {
+				wvec(w, f, opened[j].D)
+				wvec(w, f, opened[j].E)
+			}
+		} else {
+			w.u8(0)
+		}
+		w.blob(seed[:])
+		w.u32(uint32(sp.lo))
+		w.u32(uint32(sp.hi))
+		resps, err := l.broadcast(MsgRound2Batch, l.same(w.b))
+		if err != nil {
+			return nil, err
+		}
+		first = false
+		r2 := make([]*snip.Round2[E], len(resps))
+		for i, resp := range resps {
+			r := &rbuf{b: resp}
+			sig := rvec(r, f, reps)
+			tau := rvec(r, f, 1)
+			if r.err != nil || !r.done() {
+				return nil, fmt.Errorf("core: bad Round2Batch response from server %d", i)
+			}
+			r2[i] = &snip.Round2[E]{Sigma: sig, Tau: tau[0]}
+		}
+		switch {
+		case chSt.ev.Decide(r2):
+			for j := sp.lo; j < sp.hi; j++ {
+				ok[j] = true
+			}
+		case sp.hi-sp.lo == 1:
+			// Singleton under nonzero λ: definitively invalid.
+		default:
+			mid := (sp.lo + sp.hi) / 2
+			stack = append(stack, span{mid, sp.hi}, span{sp.lo, mid})
+		}
+	}
+	return ok, nil
 }
 
 // Aggregate fetches every server's accumulator, checks that they agree on

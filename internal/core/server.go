@@ -7,6 +7,7 @@ import (
 
 	"prio/internal/field"
 	"prio/internal/mpc"
+	"prio/internal/prg"
 	"prio/internal/sealbox"
 	"prio/internal/snip"
 	"prio/internal/transport"
@@ -37,11 +38,14 @@ type challState[Fd field.Field[E], E any] struct {
 	ev *snip.Evaluator[Fd, E]
 }
 
-// batchState holds per-batch verification sessions between rounds.
+// batchState holds per-batch verification sessions between rounds. Exactly
+// one of snipSt (per-submission path) and snipBatch (batch path) is populated
+// in the robust modes, according to Config.DisableBatchVerify.
 type batchState[Fd field.Field[E], E any] struct {
 	count     int
 	xShares   [][]E
 	snipSt    []*snip.State[E]
+	snipBatch *snip.BatchState[E]
 	mpcSess   []*mpc.Session[Fd, E]
 	validTaus []E // MPC: shares of the Valid assertion combination
 }
@@ -87,6 +91,8 @@ func (s *Server[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
 		return s.handleRound1(payload)
 	case MsgRound2:
 		return s.handleRound2(payload)
+	case MsgRound2Batch:
+		return s.handleRound2Batch(payload)
 	case MsgMPCRound:
 		return s.handleMPCRound(payload)
 	case MsgFinish:
@@ -131,7 +137,10 @@ func (s *Server[Fd, E]) handleSetChallenge(payload []byte) ([]byte, error) {
 	}
 	st := &challState[Fd, E]{ch: ch}
 	if sys := s.pro.snipSys(); sys != nil {
-		st.ev = sys.NewEvaluator(ch.sn)
+		// The cache is keyed by (shape, challenge): in-process deployments,
+		// where all servers share the Protocol's System, compute each
+		// challenge's Lagrange weights once instead of once per server.
+		st.ev = sys.CachedEvaluator(ch.sn)
 	}
 	// Challenge IDs carry their leader session in the top 16 bits; each
 	// session keeps a window of three live challenges (the newest plus two
@@ -176,8 +185,13 @@ func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
 	}
 
 	bs := &batchState[Fd, E]{count: count}
-	w := &wbuf{}
 	constServer := s.idx == 0
+
+	// Decode phase: unpack every bundle, splitting out the SNIP inputs and
+	// proof shares (and, in MPC mode, starting the cooperative sessions).
+	snipInputs := make([][]E, 0, count)
+	snipProofs := make([]*snip.Proof[E], 0, count)
+	mpcOpens := make([]*mpc.Open[E], 0, count)
 	for j := 0; j < count; j++ {
 		bundle := r.blob()
 		if r.err != nil {
@@ -201,25 +215,15 @@ func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, r1, err := chSt.ev.Round1(x, pf, constServer)
-			if err != nil {
-				return nil, err
-			}
-			bs.snipSt = append(bs.snipSt, st)
-			wvec(w, f, r1.D)
-			wvec(w, f, r1.E)
+			snipInputs = append(snipInputs, x)
+			snipProofs = append(snipProofs, pf)
 		case ModeMPC:
 			pf, err := p.TripleSys.UnflattenProof(proofFlat)
 			if err != nil {
 				return nil, err
 			}
-			st, r1, err := chSt.ev.Round1(triples, pf, constServer)
-			if err != nil {
-				return nil, err
-			}
-			bs.snipSt = append(bs.snipSt, st)
-			wvec(w, f, r1.D)
-			wvec(w, f, r1.E)
+			snipInputs = append(snipInputs, triples)
+			snipProofs = append(snipProofs, pf)
 			sess, err := mpc.NewSession(f, p.Cfg.Scheme.Circuit(), p.Cfg.Servers, x, triples, constServer)
 			if err != nil {
 				return nil, err
@@ -227,16 +231,47 @@ func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
 			open, done := sess.Start()
 			bs.mpcSess = append(bs.mpcSess, sess)
 			if done {
-				w.u32(0)
-			} else {
-				w.u32(uint32(len(open.D)))
-				wvec(w, f, open.D)
-				wvec(w, f, open.E)
+				open = &mpc.Open[E]{}
 			}
+			mpcOpens = append(mpcOpens, open)
 		}
 	}
 	if !r.done() {
 		return nil, errTruncated
+	}
+
+	// Verify phase: one batch pass over all submissions (or the legacy
+	// per-submission loop when DisableBatchVerify is set). The wire format is
+	// identical either way — Beaver openings are inherently per-submission.
+	w := &wbuf{}
+	if p.Cfg.Mode != ModeNoRobust {
+		var r1s []*snip.Round1[E]
+		if p.Cfg.DisableBatchVerify {
+			for j := range snipInputs {
+				st, r1, err := chSt.ev.Round1(snipInputs[j], snipProofs[j], constServer)
+				if err != nil {
+					return nil, err
+				}
+				bs.snipSt = append(bs.snipSt, st)
+				r1s = append(r1s, r1)
+			}
+		} else {
+			st, msgs, err := chSt.ev.Batch().Round1(snipInputs, snipProofs, constServer)
+			if err != nil {
+				return nil, err
+			}
+			bs.snipBatch = st
+			r1s = msgs
+		}
+		for j := 0; j < count; j++ {
+			wvec(w, f, r1s[j].D)
+			wvec(w, f, r1s[j].E)
+			if p.Cfg.Mode == ModeMPC {
+				w.u32(uint32(len(mpcOpens[j].D)))
+				wvec(w, f, mpcOpens[j].D)
+				wvec(w, f, mpcOpens[j].E)
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -274,19 +309,100 @@ func (s *Server[Fd, E]) handleRound2(payload []byte) ([]byte, error) {
 	if sys.M == 0 {
 		reps = 0
 	}
+	opened := make([]*snip.Round1[E], bs.count)
+	for j := range opened {
+		opened[j] = &snip.Round1[E]{D: rvec(r, f, reps), E: rvec(r, f, reps)}
+	}
+	if r.err != nil || !r.done() {
+		return nil, errTruncated
+	}
 	w := &wbuf{}
-	for j := 0; j < bs.count; j++ {
-		opened := &snip.Round1[E]{D: rvec(r, f, reps), E: rvec(r, f, reps)}
-		if r.err != nil {
-			return nil, errTruncated
+	if bs.snipBatch != nil {
+		// Batch-verified state still answers the per-submission round with
+		// bit-identical values (Single reproduces the legacy Round2).
+		bv := chSt.ev.Batch()
+		if err := bv.SetOpened(bs.snipBatch, opened, p.Cfg.Servers); err != nil {
+			return nil, err
 		}
-		r2 := chSt.ev.Round2(bs.snipSt[j], opened, p.Cfg.Servers)
+		for j := 0; j < bs.count; j++ {
+			r2, err := bv.Single(bs.snipBatch, j)
+			if err != nil {
+				return nil, err
+			}
+			wvec(w, f, r2.Sigma)
+			wvec(w, f, []E{r2.Tau})
+		}
+		return w.b, nil
+	}
+	for j := 0; j < bs.count; j++ {
+		r2 := chSt.ev.Round2(bs.snipSt[j], opened[j], p.Cfg.Servers)
 		wvec(w, f, r2.Sigma)
 		wvec(w, f, []E{r2.Tau})
 	}
-	if !r.done() {
+	return w.b, nil
+}
+
+// handleRound2Batch consumes the opened SNIP masks (on the first probe of a
+// batch) and answers random-linear-combination probes over submission
+// ranges. The leader probes [0, count) once for the common all-honest case
+// and bisects with fresh λ seeds only when a range fails.
+func (s *Server[Fd, E]) handleRound2Batch(payload []byte) ([]byte, error) {
+	p := s.pro
+	f := p.Cfg.Field
+	sys := p.snipSys()
+	if sys == nil {
+		return nil, errors.New("core: Round2Batch in no-robust mode")
+	}
+	r := &rbuf{b: payload}
+	challID := r.u32()
+	batchID := r.u64()
+	hasOpened := r.u8()
+	s.mu.Lock()
+	chSt := s.challenges[challID]
+	bs := s.batches[batchID]
+	s.mu.Unlock()
+	if chSt == nil || bs == nil {
+		return nil, fmt.Errorf("core: server %d: unknown batch %d", s.idx, batchID)
+	}
+	if bs.snipBatch == nil {
+		return nil, errors.New("core: Round2Batch on a batch verified per-submission")
+	}
+	bv := chSt.ev.Batch()
+	if hasOpened == 1 {
+		reps := sys.Reps
+		if sys.M == 0 {
+			reps = 0
+		}
+		opened := make([]*snip.Round1[E], bs.count)
+		for j := range opened {
+			opened[j] = &snip.Round1[E]{D: rvec(r, f, reps), E: rvec(r, f, reps)}
+		}
+		if r.err != nil {
+			return nil, errTruncated
+		}
+		if err := bv.SetOpened(bs.snipBatch, opened, p.Cfg.Servers); err != nil {
+			return nil, err
+		}
+	}
+	seed := r.blob()
+	lo := int(int32(r.u32()))
+	hi := int(int32(r.u32()))
+	if r.err != nil || !r.done() || len(seed) != prg.SeedSize {
 		return nil, errTruncated
 	}
+	if lo < 0 || hi > bs.count || lo >= hi {
+		return nil, snip.ErrBatchState
+	}
+	var ps prg.Seed
+	copy(ps[:], seed)
+	lambda := snip.RLCCoeffs(f, ps, hi-lo)
+	r2, err := bv.Combined(bs.snipBatch, lambda, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	w := &wbuf{}
+	wvec(w, f, r2.Sigma)
+	wvec(w, f, []E{r2.Tau})
 	return w.b, nil
 }
 

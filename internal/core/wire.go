@@ -18,6 +18,11 @@ const (
 	MsgReset        byte = 7 // leader -> servers: clear accumulator and sessions
 	MsgPublicKey    byte = 8 // anyone -> server: fetch sealbox public key
 	MsgSubmit       byte = 9 // client -> leader: enqueue one submission
+	// MsgRound2Batch replaces MsgRound2 on the batch-verification path: the
+	// leader ships the opened masks once, then probes ranges of the batch
+	// with fresh RLC seeds; each reply is a single combined σ/τ share for
+	// the probed range instead of one pair per submission.
+	MsgRound2Batch byte = 10 // leader -> servers: opened masks + RLC probe; reply: combined share
 )
 
 // errTruncated reports malformed wire input.

@@ -150,6 +150,151 @@ func TestInnerProductBilinearQuick(t *testing.T) {
 	}
 }
 
+// Slab-kernel properties: the vectorized F64 kernels must agree with the
+// generic scalar path element-for-element on every length — including empty,
+// length-1, and lengths that are not a multiple of the kernels' unroll
+// stride — and the scratch pool must never alias live results.
+
+// slabLens covers the stride edge cases: empty, single, odd, one under and
+// over the 2-way unroll boundary, and a few larger odd sizes.
+var slabLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 33, 63, 100, 255}
+
+// randSlab derives a deterministic pseudo-random canonical vector.
+func randSlab(n int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	x := seed*0x9E3779B97F4A7C15 + 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = x % ModulusF64
+	}
+	return out
+}
+
+func TestSlabKernelsMatchScalar(t *testing.T) {
+	f := NewF64()
+	for _, n := range slabLens {
+		a := randSlab(n, uint64(n)+1)
+		b := randSlab(n, uint64(n)+2)
+		c := randSlab(1, uint64(n)+3)[0]
+
+		add := make([]uint64, n)
+		AddSlice(add, a, b)
+		sub := make([]uint64, n)
+		SubSlice(sub, a, b)
+		mul := make([]uint64, n)
+		MulSlice(mul, a, b)
+		scale := make([]uint64, n)
+		ScaleSlice(scale, a, c)
+		saxpy := append([]uint64(nil), b...)
+		ScaleAddSlice(saxpy, a, c)
+		for i := 0; i < n; i++ {
+			if add[i] != f.Add(a[i], b[i]) {
+				t.Fatalf("n=%d AddSlice[%d] = %d, want %d", n, i, add[i], f.Add(a[i], b[i]))
+			}
+			if sub[i] != f.Sub(a[i], b[i]) {
+				t.Fatalf("n=%d SubSlice[%d] mismatch", n, i)
+			}
+			if mul[i] != f.Mul(a[i], b[i]) {
+				t.Fatalf("n=%d MulSlice[%d] mismatch", n, i)
+			}
+			if scale[i] != f.Mul(c, a[i]) {
+				t.Fatalf("n=%d ScaleSlice[%d] mismatch", n, i)
+			}
+			if saxpy[i] != f.Add(b[i], f.Mul(c, a[i])) {
+				t.Fatalf("n=%d ScaleAddSlice[%d] mismatch", n, i)
+			}
+		}
+		if got, want := DotSlice(a, b), InnerProduct(f, a, b); got != want {
+			t.Fatalf("n=%d DotSlice = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestDotSliceExtremes drives the deferred-reduction accumulator with
+// worst-case magnitudes (all elements p-1) at lengths long enough to carry
+// into the third limb.
+func TestDotSliceExtremes(t *testing.T) {
+	f := NewF64()
+	for _, n := range []int{1, 2, 3, 64, 1023, 4096} {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = ModulusF64 - 1
+		}
+		if got, want := DotSlice(a, a), InnerProduct(f, a, a); got != want {
+			t.Fatalf("n=%d DotSlice(p-1,...) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMulAcc192MatchesScalar(t *testing.T) {
+	f := NewF64()
+	for _, n := range slabLens {
+		const rows = 7
+		acc0 := make([]uint64, n)
+		acc1 := make([]uint64, n)
+		acc2 := make([]uint64, n)
+		want := make([]uint64, n)
+		for r := 0; r < rows; r++ {
+			src := randSlab(n, uint64(100*r+n))
+			c := randSlab(1, uint64(999*r+n))[0]
+			MulAcc192(acc0, acc1, acc2, src, c)
+			for i := 0; i < n; i++ {
+				want[i] = f.Add(want[i], f.Mul(c, src[i]))
+			}
+		}
+		got := make([]uint64, n)
+		Reduce192Slice(got, acc0, acc1, acc2)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d lane %d: Reduce192Slice = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSlabPoolNoAliasing checks the GetSlab/PutSlab contract: a returned
+// slab is zeroed regardless of what a previous user left in it, and reusing
+// the pool never mutates results that were copied out before PutSlab.
+func TestSlabPoolNoAliasing(t *testing.T) {
+	s1 := GetSlab(64)
+	for i := range s1 {
+		s1[i] = 0xDEAD
+	}
+	result := append([]uint64(nil), s1...) // copy out, then release
+	PutSlab(s1)
+
+	s2 := GetSlab(64)
+	for _, v := range s2 {
+		if v != 0 {
+			t.Fatal("GetSlab returned a non-zeroed slab")
+		}
+	}
+	for i := range s2 {
+		s2[i] = 0xBEEF
+	}
+	for _, v := range result {
+		if v != 0xDEAD {
+			t.Fatal("pooled slab reuse aliased a copied-out result")
+		}
+	}
+	PutSlab(s2)
+
+	// Growing requests after the pool holds smaller buffers must still yield
+	// full-length zeroed slabs.
+	s3 := GetSlab(128)
+	if len(s3) != 128 {
+		t.Fatalf("GetSlab(128) returned len %d", len(s3))
+	}
+	for _, v := range s3 {
+		if v != 0 {
+			t.Fatal("grown slab not zeroed")
+		}
+	}
+	PutSlab(s3)
+}
+
 func TestFromInt64Quick(t *testing.T) {
 	f := NewF64()
 	p := f.Modulus()

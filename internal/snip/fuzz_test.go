@@ -1,0 +1,192 @@
+package snip
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"prio/internal/field"
+	"prio/internal/prg"
+)
+
+// ctrReader is a deterministic entropy source for building seed corpora:
+// fuzz seeds must be reproducible across runs. A counter stream (rather
+// than a constant) keeps rejection-sampling loops finite.
+type ctrReader struct{ n byte }
+
+func (r *ctrReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.n ^ 0x5a
+		r.n++
+	}
+	return len(p), nil
+}
+
+// fuzzSystem builds the fixed range4/F64 system all fuzz targets share.
+func fuzzSystem(tb testing.TB) (field.F64, *System[field.F64, uint64], *Evaluator[field.F64, uint64]) {
+	f := field.NewF64()
+	sys, err := NewSystem(f, range4(f), Params{Reps: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ch, err := sys.NewChallenge(&ctrReader{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f, sys, sys.NewEvaluator(ch)
+}
+
+// fuzzElems maps arbitrary bytes to field elements, 8 bytes per element.
+// FromUint64 reduces, so every input decodes; structure, not canonicality,
+// is what these targets probe.
+func fuzzElems(f field.F64, data []byte) []uint64 {
+	elems := make([]uint64, 0, len(data)/8)
+	for len(data) >= 8 {
+		elems = append(elems, f.FromUint64(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return elems
+}
+
+// FuzzProofDecode drives UnflattenProof and the canonical byte decoder with
+// malformed inputs: both must error (or round-trip exactly), never panic.
+func FuzzProofDecode(f *testing.F) {
+	fd, sys, ev := fuzzSystem(f)
+	// Seed: a valid flattened proof, then structural mutations of it.
+	x := encode4(fd, 11)
+	pf, err := sys.Prove(x, &ctrReader{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := field.AppendVec(fd, nil, sys.FlattenProof(pf))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-8])                                 // truncated
+	f.Add(append(append([]byte(nil), valid...), valid[:16]...)) // padded
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Canonical decoder path: may reject, must not panic.
+		if elems, _, err := field.ReadVec(fd, data, len(data)/8); err == nil {
+			if _, err := sys.UnflattenProof(elems); err != nil && err != ErrDimensions {
+				t.Fatalf("UnflattenProof: unexpected error %v", err)
+			}
+		}
+		// Reducing decoder path: always yields elements; UnflattenProof must
+		// either reject the length or round-trip exactly.
+		elems := fuzzElems(fd, data)
+		pf, err := sys.UnflattenProof(elems)
+		if err != nil {
+			return
+		}
+		back := sys.FlattenProof(pf)
+		if len(back) != len(elems) {
+			t.Fatalf("round trip length %d != %d", len(back), len(elems))
+		}
+		for i := range back {
+			if !fd.Equal(back[i], elems[i]) {
+				t.Fatalf("round trip differs at %d", i)
+			}
+		}
+		// A shape-valid proof share must flow through verification without
+		// panicking, whatever its contents.
+		if st, m, err := ev.Round1(encode4(fd, 3), pf, true); err == nil {
+			op := SumRound1(fd, []*Round1[uint64]{m})
+			_ = ev.Round2(st, op, 1)
+		}
+	})
+}
+
+// FuzzBatchVerify drives the batch-verify entry points — Round1, SetOpened,
+// Combined, Single — with one adversarially mangled submission inside an
+// otherwise honest batch. Malformed inputs must error, never panic, and
+// must never corrupt the honest lanes' bookkeeping.
+func FuzzBatchVerify(f *testing.F) {
+	fd, sys, ev := fuzzSystem(f)
+	f.Add(uint8(2), uint8(1), uint8(0), []byte{})
+	f.Add(uint8(3), uint8(0), uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), uint8(0), uint8(255), make([]byte, 64))
+	f.Add(uint8(4), uint8(3), uint8(7), make([]byte, 256))
+
+	f.Fuzz(func(t *testing.T, bRaw, target, rangeRaw uint8, mangle []byte) {
+		b := int(bRaw)%4 + 1
+		bv := ev.Batch()
+		xs := make([][]uint64, b)
+		pfs := make([]*Proof[uint64], b)
+		for i := 0; i < b; i++ {
+			xs[i] = encode4(fd, uint64(i))
+			var err error
+			if pfs[i], err = sys.Prove(xs[i], &ctrReader{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mangle one submission's proof share: overwrite its flat vector with
+		// fuzz bytes, at fuzz-chosen (possibly dimension-breaking) length.
+		ti := int(target) % b
+		elems := fuzzElems(fd, mangle)
+		flat := sys.FlattenProof(pfs[ti])
+		if len(elems) < len(flat) {
+			copy(flat, elems)
+			pfs[ti] = sys.unflatten(flat)
+		} else {
+			// Wrong shape entirely: hand-built proof with fuzz-length slices.
+			n := len(elems)
+			pfs[ti] = &Proof[uint64]{
+				FPad:    elems[:n/4],
+				GPad:    elems[n/4 : n/2],
+				H:       elems[n/2:],
+				Triples: make([]Triple[uint64], n%5),
+			}
+		}
+		st, msgs, err := bv.Round1(xs, pfs, true)
+		if err != nil {
+			return // malformed shape rejected before arithmetic: the contract
+		}
+		opened := make([]*Round1[uint64], b)
+		for i := 0; i < b; i++ {
+			opened[i] = SumRound1(fd, []*Round1[uint64]{msgs[i]})
+		}
+		if err := bv.SetOpened(st, opened, 1); err != nil {
+			t.Fatalf("SetOpened on self-consistent batch: %v", err)
+		}
+		// Fuzz-chosen (often invalid) range: Combined must error or decide.
+		lo, hi := int(rangeRaw)%(b+2)-1, int(rangeRaw>>4)%(b+2)
+		var seed prg.Seed
+		copy(seed[:], mangle)
+		n := hi - lo
+		if n > 0 {
+			lambda := RLCCoeffs(fd, seed, n)
+			if _, err := bv.Combined(st, lambda, lo, hi); err != nil && err != ErrBatchState {
+				t.Fatalf("Combined: unexpected error %v", err)
+			}
+		}
+		for i := -1; i <= b; i++ {
+			if _, err := bv.Single(st, i); err != nil && err != ErrBatchState {
+				t.Fatalf("Single(%d): unexpected error %v", i, err)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsSane executes every inline fuzz seed as a plain test so the
+// corpora stay green under `go test` without the fuzz engine.
+func TestFuzzSeedsSane(t *testing.T) {
+	fd, sys, _ := fuzzSystem(t)
+	x := encode4(fd, 11)
+	pf, err := sys.Prove(x, &ctrReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := sys.FlattenProof(pf)
+	back, err := sys.UnflattenProof(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range sys.FlattenProof(back) {
+		if !fd.Equal(e, flat[i]) {
+			t.Fatalf("seed proof round trip differs at %d", i)
+		}
+	}
+	if _, err := sys.UnflattenProof(flat[:len(flat)-1]); err != ErrDimensions {
+		t.Fatalf("truncated proof: got %v, want ErrDimensions", err)
+	}
+}

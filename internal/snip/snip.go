@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sync"
 
 	"prio/internal/circuit"
 	"prio/internal/field"
@@ -35,8 +36,10 @@ type Triple[E any] struct {
 }
 
 // System binds a field, a validation circuit and proof parameters, and
-// precomputes the NTT domains shared by prover and verifiers. A System is
-// immutable and safe for concurrent use.
+// precomputes the NTT domains shared by prover and verifiers. A System's
+// parameters are immutable and it is safe for concurrent use; the only
+// mutable state is the internal challenge-keyed evaluator cache, which is
+// guarded by its own lock.
 type System[Fd field.Field[E], E any] struct {
 	F    Fd
 	C    *circuit.Circuit[E]
@@ -50,6 +53,12 @@ type System[Fd field.Field[E], E any] struct {
 
 	dN  *poly.Domain[Fd, E] // nil when M == 0
 	d2N *poly.Domain[Fd, E]
+
+	// Challenge-keyed evaluator cache (CachedEvaluator): in-process servers
+	// sharing a System and a challenge share one Lagrange precomputation.
+	evMu    sync.Mutex
+	evCache map[string]*Evaluator[Fd, E]
+	evOrder []string
 }
 
 // NewSystem builds a SNIP system for circuit c over field f. It fails if

@@ -2,6 +2,7 @@ package snip
 
 import (
 	"io"
+	"sync"
 
 	"prio/internal/circuit"
 	"prio/internal/field"
@@ -66,6 +67,9 @@ type Evaluator[Fd field.Field[E], E any] struct {
 	ch  *Challenge[E]
 	wN  [][]E // per rep: weights evaluating a share of f or g at r_j
 	w2N [][]E // per rep: weights evaluating a share of h at r_j
+
+	batchOnce sync.Once
+	batch     *BatchVerifier[Fd, E] // lazily built by Batch()
 }
 
 // NewEvaluator precomputes the evaluation weights for ch.

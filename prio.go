@@ -95,6 +95,11 @@ type Config struct {
 	// ChallengeEvery bounds how many submissions share one verification
 	// challenge (Appendix I; 0 means 1024).
 	ChallengeEvery int
+	// DisableBatchVerify forces the per-submission verification exchange
+	// instead of the default batched random-linear-combination check (see
+	// docs/VERIFY.md). Both paths accept identical submission sets; the knob
+	// exists for A/B measurement and as an operational escape hatch.
+	DisableBatchVerify bool
 }
 
 // Core pipeline types, aliased from the generic engine.
@@ -163,13 +168,14 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 		reps = 2
 	}
 	return core.NewProtocol(core.Config[field.F64, uint64]{
-		Field:          field.NewF64(),
-		Scheme:         cfg.Scheme,
-		Servers:        cfg.Servers,
-		Mode:           cfg.Mode,
-		SnipReps:       reps,
-		Seal:           cfg.Seal,
-		ChallengeEvery: cfg.ChallengeEvery,
+		Field:              field.NewF64(),
+		Scheme:             cfg.Scheme,
+		Servers:            cfg.Servers,
+		Mode:               cfg.Mode,
+		SnipReps:           reps,
+		Seal:               cfg.Seal,
+		ChallengeEvery:     cfg.ChallengeEvery,
+		DisableBatchVerify: cfg.DisableBatchVerify,
 	})
 }
 
