@@ -25,12 +25,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"prio/internal/cli"
 )
 
 var full = flag.Bool("full", false, "run the paper's full parameter sweeps (slower)")
 
 func main() {
 	flag.Parse()
+	cli.InitLog()
 	if flag.NArg() < 1 {
 		usage()
 	}

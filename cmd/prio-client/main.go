@@ -40,6 +40,7 @@ var (
 
 func main() {
 	flag.Parse()
+	cli.InitLog()
 	if *peersFlag == "" || *value == "" {
 		log.Fatal("prio-client: -peers and -value are required")
 	}

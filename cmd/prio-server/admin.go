@@ -1,0 +1,40 @@
+// Operator endpoint: a second listener serving the telemetry registry and
+// debug handlers, separate from the protocol port so scrapes and pprof
+// sessions never contend with verification traffic.
+package main
+
+import (
+	"crypto/tls"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"prio/internal/telemetry"
+)
+
+// startAdmin serves /metrics, /healthz, /debug/vars, /debug/pprof/*, and
+// /debug/trace on addr. A non-nil tlsCfg wraps the listener in TLS (the
+// same material as the protocol port); nil serves plaintext.
+func startAdmin(addr string, tlsCfg *tls.Config, tr *telemetry.Tracer) (net.Listener, error) {
+	telemetry.RegisterRuntimeMetrics(telemetry.Default)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	srv := &http.Server{
+		Handler:           telemetry.AdminHandler(telemetry.Default, tr),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil &&
+			!errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			slog.Warn("admin endpoint stopped", "err", err)
+		}
+	}()
+	return ln, nil
+}

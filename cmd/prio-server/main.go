@@ -28,9 +28,10 @@ import (
 	"crypto/tls"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/big"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"prio/internal/cli"
 	"prio/internal/core"
 	"prio/internal/ingest"
+	"prio/internal/telemetry"
 	"prio/internal/transport"
 )
 
@@ -60,13 +62,16 @@ var (
 	tlsCert       = flag.String("tls-cert", "", "PEM certificate file (with -tls-key; default: fresh self-signed)")
 	tlsKey        = flag.String("tls-key", "", "PEM private key file (with -tls-cert)")
 	tlsCA         = flag.String("tls-ca", "", "PEM bundle to authenticate peer servers against (default: encrypt without authenticating)")
+	adminAddr     = flag.String("admin-addr", "", "operator endpoint address serving /metrics, /healthz, /debug/* (default: off; TLS per -tls)")
+	traceSample   = flag.Int("trace-sample", 0, "sample 1-in-N submission lifecycles into /debug/trace (0 = off)")
 )
 
 func main() {
 	flag.Parse()
+	cli.InitLog()
 	scheme, err := prio.ParseScheme(*schemeFlag)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("bad -scheme", "err", err)
 	}
 	var peers []string
 	if *peersFlag != "" {
@@ -77,11 +82,11 @@ func main() {
 		n = len(peers)
 	}
 	if n == 0 {
-		log.Fatal("prio-server: set -servers or -peers")
+		cli.Fatal("set -servers or -peers")
 	}
 	mode, err := cli.ParseMode(*modeFlag)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("bad -mode", "err", err)
 	}
 	var serverTLS, clientTLS *tls.Config
 	if *useTLS {
@@ -91,28 +96,45 @@ func main() {
 		}
 		serverTLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey, host)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal("loading server TLS", "err", err)
 		}
 		clientTLS, err = transport.ClientTLS(*tlsCA)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal("loading client TLS", "err", err)
 		}
 	}
 	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: n, Mode: mode, Seal: true})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("building protocol", "err", err)
 	}
 	srv, err := prio.NewServer(pro, *index)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("building server", "err", err)
+	}
+
+	// The operator endpoint serves the process-wide default registry, which
+	// the pipeline and ingest subsystems below register into.
+	tracer := telemetry.NewTracer(*traceSample, 256)
+	if *adminAddr != "" {
+		var adminTLS *tls.Config
+		if serverTLS != nil {
+			adminTLS = serverTLS.Clone()
+		}
+		aln, err := startAdmin(*adminAddr, adminTLS, tracer)
+		if err != nil {
+			cli.Fatal("starting admin endpoint", "err", err)
+		}
+		defer aln.Close()
+		slog.Info("admin endpoint listening", "addr", aln.Addr().String(), "tls", *useTLS)
 	}
 
 	if *index != 0 {
 		ln, err := prio.ListenAndServeTLS(*listen, srv, serverTLS)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal("listening", "err", err)
 		}
-		log.Printf("server %d (%s, %s, tls=%v) listening on %s", *index, scheme.Name(), mode, *useTLS, ln.Addr())
+		slog.Info("server listening", "index", *index, "scheme", scheme.Name(),
+			"mode", mode.String(), "tls", *useTLS, "addr", ln.Addr().String())
 		select {} // serve until killed
 	}
 
@@ -120,7 +142,7 @@ func main() {
 	// verification pipeline and the streaming ingest handler terminating
 	// pipelined submission streams (the default client path).
 	if len(peers) != n {
-		log.Fatalf("prio-server: leader needs -peers with %d entries", n)
+		cli.Fatal("leader needs -peers with one entry per server", "want", n)
 	}
 	ld := &leaderLoop{scheme: scheme}
 	base := srv.Handler()
@@ -135,10 +157,15 @@ func main() {
 		return nil, ld.SubmitFunc(sub, nil)
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("listening", "err", err)
 	}
 	defer ln.Close()
-	ing := ingest.NewServer(ld, ingest.Config{Credits: *ingestCredits, QueueDepth: *ingestQueue})
+	ing := ingest.NewServer(ld, ingest.Config{
+		Credits:    *ingestCredits,
+		QueueDepth: *ingestQueue,
+		Registry:   telemetry.Default,
+		Tracer:     tracer,
+	})
 	defer ing.Close()
 	ln.OnStream(ing.Handler())
 	ld.ingest = ing
@@ -146,20 +173,23 @@ func main() {
 	time.Sleep(500 * time.Millisecond) // let peers come up
 	leader, err := prio.ConnectLeaderTLS(srv, peers, clientTLS)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("connecting to peers", "err", err)
 	}
+	registerPeerStats(leader, n)
 	pl, err := prio.NewPipeline(leader, prio.PipelineConfig{
 		Shards:     *shards,
 		MaxBatch:   *batch,
 		QueueDepth: *queueDepth,
+		Registry:   telemetry.Default,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("building pipeline", "err", err)
 	}
 	defer pl.Close()
 	ld.start(pl)
-	log.Printf("leader (%s, %s, tls=%v) listening on %s, %d servers, %d shards, %d stream credits",
-		scheme.Name(), mode, *useTLS, ln.Addr(), n, pl.Shards(), *ingestCredits)
+	slog.Info("leader listening", "scheme", scheme.Name(), "mode", mode.String(),
+		"tls", *useTLS, "addr", ln.Addr().String(), "servers", n,
+		"shards", pl.Shards(), "stream_credits", *ingestCredits)
 
 	ticker := time.NewTicker(*publishEvery)
 	defer ticker.Stop()
@@ -168,6 +198,28 @@ func main() {
 		if *once {
 			return
 		}
+	}
+}
+
+// registerPeerStats exports the leader's per-peer RPC traffic counters:
+// one labeled series per server connection, read live at scrape time. The
+// leader's own slot is a loopback, so its series stay near zero.
+func registerPeerStats(leader *prio.Leader, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		lbl := telemetry.Label{Key: "peer", Value: strconv.Itoa(i)}
+		telemetry.Default.CounterFunc("prio_peer_bytes_sent_total",
+			"framed bytes sent to each server over the leader's RPC connection",
+			func() uint64 { return leader.PeerStats(i).BytesSent }, lbl)
+		telemetry.Default.CounterFunc("prio_peer_bytes_recv_total",
+			"framed bytes received from each server over the leader's RPC connection",
+			func() uint64 { return leader.PeerStats(i).BytesRecv }, lbl)
+		telemetry.Default.CounterFunc("prio_peer_msgs_sent_total",
+			"messages sent to each server over the leader's RPC connection",
+			func() uint64 { return leader.PeerStats(i).MsgsSent }, lbl)
+		telemetry.Default.CounterFunc("prio_peer_msgs_recv_total",
+			"messages received from each server over the leader's RPC connection",
+			func() uint64 { return leader.PeerStats(i).MsgsRecv }, lbl)
 	}
 }
 
@@ -201,7 +253,7 @@ func (ld *leaderLoop) start(pl *prio.Pipeline) {
 	ld.mu.Unlock()
 	for _, p := range pending {
 		if err := pl.SubmitFunc(p.sub, p.fn); err != nil {
-			log.Printf("submit error: %v", err)
+			slog.Warn("submit error", "err", err)
 		}
 	}
 }
@@ -268,11 +320,13 @@ func (ld *leaderLoop) publish() {
 	ld.lastIngest = ist
 	ld.mu.Unlock()
 	if delta.Processed+delta.Failed+shed > 0 {
-		log.Printf("interval: %d accepted, %d rejected, %d failed, %d shed in %d rounds (%d streamed)",
-			delta.Accepted, delta.Rejected, delta.Failed, shed, delta.Batches, streamed)
+		slog.Info("interval",
+			"accepted", delta.Accepted, "rejected", delta.Rejected,
+			"failed", delta.Failed, "shed", shed,
+			"rounds", delta.Batches, "streamed", streamed)
 	}
 	if err != nil {
-		log.Printf("aggregate error: %v", err)
+		slog.Warn("aggregate error", "err", err)
 		return
 	}
 	fmt.Printf("aggregate over %d clients: %s\n", n, describeAggregate(ld.scheme, agg, int(n)))

@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// logLevel is shared by every binary that imports this package: one
+// -log-level flag, one leveled key=value logger.
+var logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+
+// InitLog installs the process logger per -log-level: a slog TextHandler
+// writing key=value lines to stderr. It also becomes the slog default, so
+// stdlib log.Printf output in dependencies routes through the same handler
+// at info level. Call it right after flag.Parse.
+func InitLog() *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: want debug, info, warn, or error\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+	// Strip the stdlib prefix duplication: the handler adds its own
+	// timestamp, so the bridged log.Printf path must not.
+	log.SetFlags(0)
+	return logger
+}
+
+// Fatal logs msg at error level with the given key=value attrs and exits.
+// It is the slog-era log.Fatal for the binaries' setup paths.
+func Fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}

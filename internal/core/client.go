@@ -10,6 +10,7 @@ import (
 	"prio/internal/prg"
 	"prio/internal/sealbox"
 	"prio/internal/share"
+	"prio/internal/telemetry"
 )
 
 // Submission is one client's upload: a bundle per server, delivered to the
@@ -20,6 +21,14 @@ import (
 // reports for its five-server deployment.
 type Submission struct {
 	Bundles [][]byte
+
+	// Trace, when non-nil, is a sampled telemetry trace riding along this
+	// submission through the server: the ingest edge attaches it to the
+	// fresh decoded Submission, each stage boundary marks it, and the
+	// deciding shard finishes it. Never serialized, never set on the
+	// client side — client code may share one *Submission across
+	// goroutines, which only works because nothing down here writes it.
+	Trace *telemetry.Trace
 }
 
 // Marshal serializes the submission for the client-to-leader channel.

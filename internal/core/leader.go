@@ -43,6 +43,10 @@ type Leader[Fd field.Field[E], E any] struct {
 	batchSeq  uint64
 	sinceCh   int
 	next      *challPrefetch // pre-generated, pre-broadcast next challenge
+
+	// m carries the pipeline's stage metrics; nil (a Leader built outside a
+	// Pipeline) disables them.
+	m *pipeMetrics
 }
 
 // challPrefetch is a challenge being generated and broadcast off-path, ahead
@@ -282,10 +286,12 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 		}
 		reqs[i] = w.b
 	}
+	t0 := l.m.start()
 	r1resps, err := l.broadcast(MsgRound1, reqs)
 	if err != nil {
 		return nil, err
 	}
+	l.m.observeRound1(t0)
 
 	if p.Cfg.Mode == ModeNoRobust {
 		accepts := make([]bool, count)
@@ -353,6 +359,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	// either through the amortized batch probes (default) or the legacy
 	// per-submission exchange.
 	var snipOK []bool
+	t0 = l.m.start()
 	if p.Cfg.DisableBatchVerify {
 		w := &wbuf{}
 		w.u32(challID)
@@ -393,6 +400,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 			return nil, err
 		}
 	}
+	l.m.observeRound2(t0)
 
 	// MPC rounds: iterate until every session reports its Valid τ share.
 	validTau := make([]E, count)
@@ -468,9 +476,11 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	fw.u64(batchID)
 	fw.blob(bitmap)
 	finished = true
+	t0 = l.m.start()
 	if _, err := l.broadcast(MsgFinish, l.same(fw.b)); err != nil {
 		return nil, err
 	}
+	l.m.observeFinish(t0)
 	return accepts, nil
 }
 
@@ -492,6 +502,8 @@ func (l *Leader[Fd, E]) batchVerify(chSt *challState[Fd, E], challID uint32, bat
 	type span struct{ lo, hi int }
 	stack := []span{{0, count}}
 	first := true
+	probes := 0
+	defer func() { l.m.countBisect(probes) }()
 	for len(stack) > 0 {
 		sp := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -519,6 +531,7 @@ func (l *Leader[Fd, E]) batchVerify(chSt *challState[Fd, E], challID uint32, bat
 			return nil, err
 		}
 		first = false
+		probes++
 		r2 := make([]*snip.Round2[E], len(resps))
 		for i, resp := range resps {
 			r := &rbuf{b: resp}

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prio/internal/field"
+	"prio/internal/telemetry"
 )
 
 // Pipeline is the sharded, concurrent aggregation front-end: it accepts a
@@ -37,6 +39,7 @@ type Pipeline[Fd field.Field[E], E any] struct {
 	wg      sync.WaitGroup
 	shards  []ShardStats
 	refused uint64 // submissions refused unqueued by TrySubmitFunc (queue full)
+	m       *pipeMetrics
 
 	// closeMu makes Submit's send atomic with respect to Close: senders
 	// hold the read side across the channel send (many may block there at
@@ -65,6 +68,14 @@ type PipelineConfig struct {
 	// QueueDepth is the submission queue capacity; Submit blocks when the
 	// queue is full, providing backpressure (default 4·Shards·MaxBatch).
 	QueueDepth int
+	// Registry receives the pipeline's telemetry: stage-duration
+	// histograms (queue wait, verification rounds, commit), batch-size
+	// distribution, and outcome counters mirroring ShardStats. Nil gives
+	// the pipeline a private registry — pass telemetry.Default (as
+	// prio-server does) to expose the metrics on the admin endpoint.
+	// Sharing one registry between two live pipelines merges their
+	// counters; give each its own for per-instance numbers.
+	Registry *telemetry.Registry
 }
 
 // withDefaults resolves the zero values.
@@ -117,6 +128,7 @@ type pipeJob struct {
 	sub *Submission
 	res chan<- SubmitResult
 	fn  func(SubmitResult)
+	enq time.Time // enqueue instant for the queue-wait histogram (zero when telemetry is off)
 }
 
 // finish delivers the decision to whichever completion the submitter chose.
@@ -154,17 +166,37 @@ func NewPipeline[Fd field.Field[E], E any](leader *Leader[Fd, E], cfg PipelineCo
 	if cfg.MaxBatch < 1 {
 		return nil, fmt.Errorf("core: pipeline MaxBatch must be positive, got %d", cfg.MaxBatch)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	p := &Pipeline[Fd, E]{
 		cfg:    cfg,
 		queue:  make(chan pipeJob, cfg.QueueDepth),
 		shards: make([]ShardStats, cfg.Shards),
+		m:      newPipeMetrics(reg),
 	}
 	p.quiet = sync.NewCond(&p.mu)
+	reg.GaugeFunc("prio_pipeline_queue_depth",
+		"submissions waiting in the pipeline queue",
+		func() float64 { return float64(len(p.queue)) })
+	reg.GaugeFunc("prio_pipeline_queue_capacity",
+		"pipeline queue capacity",
+		func() float64 { return float64(cap(p.queue)) })
+	if sys := leader.pro.snipSys(); sys != nil {
+		reg.CounterFunc("prio_snip_evcache_hits_total",
+			"challenge-keyed evaluator cache hits",
+			func() uint64 { h, _ := sys.EvCacheStats(); return h })
+		reg.CounterFunc("prio_snip_evcache_misses_total",
+			"challenge-keyed evaluator cache misses (Lagrange precomputation rebuilt)",
+			func() uint64 { _, m := sys.EvCacheStats(); return m })
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sess, err := NewLeaderSession(leader.Server, leader.peers, i+1)
 		if err != nil {
 			return nil, err
 		}
+		sess.m = p.m
 		p.sessions = append(p.sessions, sess)
 	}
 	p.wg.Add(cfg.Shards)
@@ -217,11 +249,17 @@ func (p *Pipeline[Fd, E]) TrySubmitFunc(sub *Submission, fn func(SubmitResult)) 
 	p.mu.Lock()
 	p.pending++
 	p.mu.Unlock()
+	job := pipeJob{sub: sub, fn: fn}
+	if telemetry.Enabled {
+		job.enq = time.Now()
+	}
+	sub.Trace.Stage("pipeline.queue")
 	select {
-	case p.queue <- pipeJob{sub: sub, fn: fn}:
+	case p.queue <- job:
 		return true, nil
 	default:
 		atomic.AddUint64(&p.refused, 1)
+		p.m.refused.Inc()
 		p.settle(1)
 		return false, nil
 	}
@@ -237,6 +275,10 @@ func (p *Pipeline[Fd, E]) submit(job pipeJob) error {
 	p.mu.Lock()
 	p.pending++
 	p.mu.Unlock()
+	if telemetry.Enabled {
+		job.enq = time.Now()
+	}
+	job.sub.Trace.Stage("pipeline.queue")
 	p.queue <- job
 	return nil
 }
@@ -284,30 +326,52 @@ func (p *Pipeline[Fd, E]) shardLoop(i int) {
 		subs = subs[:0]
 		for _, j := range jobs {
 			subs = append(subs, j.sub)
+			j.sub.Trace.Stage("verify")
 		}
+		if telemetry.Enabled {
+			now := time.Now()
+			for _, j := range jobs {
+				if !j.enq.IsZero() {
+					p.m.queueWait.Observe(now.Sub(j.enq))
+				}
+			}
+			p.m.batchSize.Observe(uint64(len(jobs)))
+		}
+		t0 := p.m.start()
 		accepts, err := sess.ProcessBatch(subs)
+		p.m.batchDur.Since(t0)
 
 		// Counters are written with atomics so Stats can snapshot them
-		// while the shard runs.
+		// while the shard runs; one add per outcome per batch keeps the
+		// accounting off the per-submission path.
 		atomic.AddUint64(&st.Batches, 1)
+		p.m.batches.Inc()
 		if err != nil {
 			atomic.AddUint64(&st.Failed, uint64(len(jobs)))
+			p.m.failed.Add(uint64(len(jobs)))
 			p.recordErr(err)
 			for _, j := range jobs {
+				j.sub.Trace.Finish("failed")
 				j.finish(SubmitResult{Err: err})
 			}
 			p.settle(len(jobs))
 			continue
 		}
 		atomic.AddUint64(&st.Processed, uint64(len(jobs)))
+		var nAccept uint64
 		for k, j := range jobs {
 			if accepts[k] {
-				atomic.AddUint64(&st.Accepted, 1)
+				nAccept++
+				j.sub.Trace.Finish("accepted")
 			} else {
-				atomic.AddUint64(&st.Rejected, 1)
+				j.sub.Trace.Finish("rejected")
 			}
 			j.finish(SubmitResult{Accepted: accepts[k]})
 		}
+		atomic.AddUint64(&st.Accepted, nAccept)
+		atomic.AddUint64(&st.Rejected, uint64(len(jobs))-nAccept)
+		p.m.accepted.Add(nAccept)
+		p.m.rejected.Add(uint64(len(jobs)) - nAccept)
 		p.settle(len(jobs))
 	}
 }

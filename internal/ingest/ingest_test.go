@@ -151,6 +151,7 @@ func TestAckIDMatching(t *testing.T) {
 // gated — the server never saw more than the credit window in flight — and
 // (b) nothing was shed: backpressure queued the flood at the client.
 func TestBackpressureNoDrops(t *testing.T) {
+	skipIfNoTelemetry(t)
 	const credits, total = 8, 50
 	sink := &fakeSink{gate: make(chan struct{})}
 	ing, addr, stop := serveIngest(t, sink, Config{Credits: credits, QueueDepth: 64})
@@ -217,6 +218,7 @@ func TestBackpressureNoDrops(t *testing.T) {
 // to report "full": submissions must detour through the intake queue and
 // still be decided, with nothing shed.
 func TestIntakeQueueAbsorbsFullPipeline(t *testing.T) {
+	skipIfNoTelemetry(t)
 	sink := &fakeSink{}
 	atomic.StoreInt32(&sink.full, 1) // TrySubmitFunc always refuses
 	ing, addr, stop := serveIngest(t, sink, Config{Credits: 8, QueueDepth: 32})
@@ -248,6 +250,7 @@ func TestIntakeQueueAbsorbsFullPipeline(t *testing.T) {
 // queue: the overflow must come back as explicit shed acks (returning their
 // credits), not silent drops or a wedged stream.
 func TestShedWhenEverythingFull(t *testing.T) {
+	skipIfNoTelemetry(t)
 	sink := &fakeSink{gate: make(chan struct{})}
 	atomic.StoreInt32(&sink.full, 1)
 	ing, addr, stop := serveIngest(t, sink, Config{Credits: 16, QueueDepth: 4})
@@ -340,6 +343,7 @@ func TestTeardownMidFlight(t *testing.T) {
 // the leader's own listener, and a StreamSubmitter pushing pipelined
 // submissions — then the aggregate must be exact and every ack accounted.
 func TestStreamedPipelineOverCoalescedTCP(t *testing.T) {
+	skipIfNoTelemetry(t)
 	f := field.NewF64()
 	scheme := afe.NewSum(f, 8)
 	pro, err := core.NewProtocol(core.Config[field.F64, uint64]{
@@ -466,6 +470,7 @@ func TestStreamedPipelineOverCoalescedTCP(t *testing.T) {
 // there would stall a pipeline shard goroutine and take the whole server
 // down with one bad connection. Afterwards a compliant stream must work.
 func TestNonReadingFloodDoesNotWedge(t *testing.T) {
+	skipIfNoTelemetry(t)
 	sink := &fakeSink{}
 	ing, addr, stop := serveIngest(t, sink, Config{Credits: 8, QueueDepth: 16})
 	defer stop()

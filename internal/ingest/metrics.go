@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"sync/atomic"
+
+	"prio/internal/telemetry"
+	"prio/internal/transport"
+)
+
+// ingestMetrics is the ingest edge's view into the telemetry registry.
+// The registry counters are the source of truth for the subsystem-wide
+// totals — Server.Stats reads them back — while the per-stream Stats
+// structs keep their own atomics (a stream's counters die with it, the
+// registry's do not).
+type ingestMetrics struct {
+	streams  *telemetry.Counter
+	received *telemetry.Counter
+	accepted *telemetry.Counter
+	rejected *telemetry.Counter
+	shed     *telemetry.Counter
+	failed   *telemetry.Counter
+
+	frameDur  *telemetry.DurationHistogram // submit frame decode → routed (fast path or parked)
+	intakeDur *telemetry.DurationHistogram // wait in the intake queue before the pump drains it
+	decision  *telemetry.DurationHistogram // frame decode → ack decision, any outcome
+
+	// Wire totals fold each closed stream's FrameConn counters into these;
+	// the registered CounterFuncs add the live streams on top, so the
+	// exported series never move backwards when a stream closes.
+	closedWire transport.Stats
+}
+
+// newIngestMetrics registers the ingest metric families in reg. The wire
+// CounterFuncs close over s to include the live streams' FrameConn counters.
+func newIngestMetrics(reg *telemetry.Registry, s *Server) *ingestMetrics {
+	m := &ingestMetrics{
+		streams: reg.Counter("prio_ingest_streams_total",
+			"ingest streams opened"),
+		received: reg.Counter("prio_ingest_received_total",
+			"submit frames decoded"),
+		accepted: reg.Counter("prio_ingest_accepted_total",
+			"submissions acked accepted (shares entered the accumulators)"),
+		rejected: reg.Counter("prio_ingest_rejected_total",
+			"submissions acked rejected (verification refused the proof)"),
+		shed: reg.Counter("prio_ingest_shed_total",
+			"submissions acked shed (credit overrun or intake queue full)"),
+		failed: reg.Counter("prio_ingest_failed_total",
+			"submissions acked failed (batch-level verification error)"),
+		frameDur: reg.Duration("prio_ingest_frame_seconds",
+			"submit frame handling: decode through routing into the sink or intake queue"),
+		intakeDur: reg.Duration("prio_ingest_intake_wait_seconds",
+			"time a parked submission waits in the intake queue before the pump drains it"),
+		decision: reg.Duration("prio_ingest_decision_seconds",
+			"submit frame decode to ack decision, across all outcomes"),
+	}
+	wire := func(v *uint64, fc func(*transport.Stats) *uint64) func() uint64 {
+		return func() uint64 {
+			total := atomic.LoadUint64(v)
+			s.mu.Lock()
+			for _, st := range s.streams {
+				total += atomic.LoadUint64(fc(st.fc.Stats()))
+			}
+			s.mu.Unlock()
+			return total
+		}
+	}
+	reg.CounterFunc("prio_ingest_wire_frames_in_total",
+		"frames received on ingest streams, live and closed",
+		wire(&m.closedWire.MsgsRecv, func(st *transport.Stats) *uint64 { return &st.MsgsRecv }))
+	reg.CounterFunc("prio_ingest_wire_frames_out_total",
+		"frames sent on ingest streams, live and closed",
+		wire(&m.closedWire.MsgsSent, func(st *transport.Stats) *uint64 { return &st.MsgsSent }))
+	reg.CounterFunc("prio_ingest_wire_bytes_in_total",
+		"framed bytes received on ingest streams, live and closed",
+		wire(&m.closedWire.BytesRecv, func(st *transport.Stats) *uint64 { return &st.BytesRecv }))
+	reg.CounterFunc("prio_ingest_wire_bytes_out_total",
+		"framed bytes sent on ingest streams, live and closed",
+		wire(&m.closedWire.BytesSent, func(st *transport.Stats) *uint64 { return &st.BytesSent }))
+	reg.GaugeFunc("prio_ingest_intake_depth",
+		"submissions parked in the intake queue",
+		func() float64 { return float64(len(s.intake)) })
+	reg.GaugeFunc("prio_ingest_streams_active",
+		"ingest streams currently open",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.streams)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	return m
+}
+
+// countAck records one decision in the registry counters.
+func (m *ingestMetrics) countAck(status AckStatus) {
+	switch status {
+	case StatusAccepted:
+		m.accepted.Inc()
+	case StatusRejected:
+		m.rejected.Inc()
+	case StatusShed:
+		m.shed.Inc()
+	case StatusFailed:
+		m.failed.Inc()
+	}
+}
+
+// foldWire accumulates a closing stream's FrameConn counters into the
+// process totals.
+func (m *ingestMetrics) foldWire(st transport.Stats) {
+	atomic.AddUint64(&m.closedWire.MsgsRecv, st.MsgsRecv)
+	atomic.AddUint64(&m.closedWire.MsgsSent, st.MsgsSent)
+	atomic.AddUint64(&m.closedWire.BytesRecv, st.BytesRecv)
+	atomic.AddUint64(&m.closedWire.BytesSent, st.BytesSent)
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prio/internal/core"
+	"prio/internal/telemetry"
 	"prio/internal/transport"
 )
 
@@ -38,6 +40,15 @@ type Config struct {
 	// least Credits, or a single fast stream can be shed under a slow
 	// pipeline (default 1024).
 	QueueDepth int
+	// Registry receives the ingest metric families. Nil means a private
+	// registry — counters still work and Stats still reads them, but nothing
+	// is exported. prio-server passes telemetry.Default so the admin
+	// endpoint sees them.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, samples submission lifecycles at the ingest
+	// edge: sampled submissions carry a Trace through the pipeline and land
+	// in the tracer's ring on decision.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults resolves the zero values.
@@ -57,6 +68,8 @@ type intakeItem struct {
 	st  *stream
 	id  uint64
 	sub *core.Submission
+	rcv time.Time // frame decode time (zero when telemetry is compiled out)
+	enq time.Time // intake enqueue time, for the queue-wait histogram
 }
 
 // Server terminates ingest streams: it decodes pipelined submission frames,
@@ -71,7 +84,8 @@ type Server struct {
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
-	stats Stats
+	m      *ingestMetrics
+	tracer *telemetry.Tracer
 
 	mu       sync.Mutex
 	streams  map[uint64]*stream
@@ -87,8 +101,14 @@ func NewServer(sink Sink, cfg Config) *Server {
 		cfg:     cfg.withDefaults(),
 		quit:    make(chan struct{}),
 		streams: make(map[uint64]*stream),
+		tracer:  cfg.Tracer,
 	}
 	s.intake = make(chan intakeItem, s.cfg.QueueDepth)
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	s.m = newIngestMetrics(reg, s)
 	s.wg.Add(1)
 	go s.pump()
 	return s
@@ -99,8 +119,20 @@ func (s *Server) Handler() transport.StreamHandler {
 	return s.handleStream
 }
 
-// Stats returns the aggregate counters across all streams, past and present.
-func (s *Server) Stats() Stats { return s.stats.Snapshot() }
+// Stats returns the aggregate counters across all streams, past and
+// present. It is a view over the telemetry registry: the counters it reads
+// are the same series the admin endpoint exports. (Under the notelemetry
+// build tag the counters are compiled out and this reads zeros.)
+func (s *Server) Stats() Stats {
+	return Stats{
+		Streams:  s.m.streams.Value(),
+		Received: s.m.received.Value(),
+		Accepted: s.m.accepted.Value(),
+		Rejected: s.m.rejected.Value(),
+		Shed:     s.m.shed.Value(),
+		Failed:   s.m.failed.Value(),
+	}
+}
 
 // StreamSnapshot pairs an active stream's ID with its counters.
 type StreamSnapshot struct {
@@ -151,16 +183,23 @@ func (s *Server) pump() {
 			for {
 				select {
 				case it := <-s.intake:
-					it.st.finish(it.id, StatusFailed)
+					it.sub.Trace.Finish("failed")
+					it.st.decide(it.id, StatusFailed, it.rcv)
 				default:
 					return
 				}
 			}
 		case it := <-s.intake:
+			if telemetry.Enabled && !it.enq.IsZero() {
+				s.m.intakeDur.Observe(time.Since(it.enq))
+			}
 			if err := s.sink.SubmitFunc(it.sub, func(r core.SubmitResult) {
-				it.st.finish(it.id, statusOf(r))
+				status := statusOf(r)
+				it.sub.Trace.Finish(status.String())
+				it.st.decide(it.id, status, it.rcv)
 			}); err != nil {
-				it.st.finish(it.id, StatusFailed)
+				it.sub.Trace.Finish("failed")
+				it.st.decide(it.id, StatusFailed, it.rcv)
 			}
 		}
 	}
@@ -199,7 +238,7 @@ func (st *stream) kill() {
 // stall a verification shard.
 func (st *stream) finish(id uint64, status AckStatus) {
 	st.stats.countAck(status)
-	st.srv.stats.countAck(status)
+	st.srv.m.countAck(status)
 	atomic.AddInt64(&st.credits, 1)
 	select {
 	case st.acks <- ackEntry{id: id, status: status}:
@@ -207,6 +246,15 @@ func (st *stream) finish(id uint64, status AckStatus) {
 	default:
 		st.kill()
 	}
+}
+
+// decide is finish plus the decision-latency observation: rcv is the
+// submit frame's decode time, zero when telemetry is compiled out.
+func (st *stream) decide(id uint64, status AckStatus, rcv time.Time) {
+	if telemetry.Enabled && !rcv.IsZero() {
+		st.srv.m.decision.Observe(time.Since(rcv))
+	}
+	st.finish(id, status)
 }
 
 // handleStream runs the per-connection protocol: hello, then a read loop
@@ -236,12 +284,17 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 	s.streams[st.id] = st
 	s.streamWG.Add(1)
 	s.mu.Unlock()
-	atomic.AddUint64(&s.stats.Streams, 1)
+	s.m.streams.Inc()
 
 	defer func() {
 		st.kill()
 		s.mu.Lock()
 		delete(s.streams, st.id)
+		// Fold the dead connection's wire counters into the process totals
+		// under the same critical section that removes it from the live set,
+		// so the wire CounterFuncs never count it twice (they sum live
+		// streams under this mutex).
+		s.m.foldWire(fc.Stats().Snapshot())
 		s.mu.Unlock()
 		s.streamWG.Done()
 	}()
@@ -265,6 +318,7 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 			fc.Flush()
 			return
 		}
+		rcv := telemetry.Start()
 		id, sub, err := decodeSubmit(payload)
 		if err != nil {
 			fc.WriteFrame(transport.MsgError, []byte(err.Error()))
@@ -272,34 +326,54 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 			return
 		}
 		atomic.AddUint64(&st.stats.Received, 1)
-		atomic.AddUint64(&s.stats.Received, 1)
+		s.m.received.Inc()
+		if tr := s.tracer.Sample(); tr != nil {
+			tr.Stage("ingest.recv")
+			sub.Trace = tr
+		}
+		st.route(id, sub, rcv)
+		if telemetry.Enabled {
+			s.m.frameDur.Since(rcv)
+		}
+	}
+}
 
-		// Spend one credit. A submission past the granted window is shed
-		// unverified; its ack (like every ack) hands the credit back, so a
-		// client that raced a little ahead recovers instead of wedging.
-		if atomic.AddInt64(&st.credits, -1) < 0 {
-			st.finish(id, StatusShed)
-			continue
-		}
-
-		// Fast path: hand the submission straight to the pipeline. When the
-		// pipeline is momentarily full, park it in the bounded intake queue
-		// for the pump; when that is full too, shed.
-		ok, err := s.sink.TrySubmitFunc(sub, func(r core.SubmitResult) {
-			st.finish(id, statusOf(r))
-		})
-		if err != nil {
-			st.finish(id, StatusFailed)
-			continue
-		}
-		if ok {
-			continue
-		}
-		select {
-		case s.intake <- intakeItem{st: st, id: id, sub: sub}:
-		default:
-			st.finish(id, StatusShed)
-		}
+// route spends one credit and hands the submission to the sink: straight
+// through when the pipeline has room, parked in the bounded intake queue
+// when it is momentarily full, shed when that is full too. rcv is the
+// submit frame's decode time for the latency histograms.
+func (st *stream) route(id uint64, sub *core.Submission, rcv time.Time) {
+	s := st.srv
+	// Spend one credit. A submission past the granted window is shed
+	// unverified; its ack (like every ack) hands the credit back, so a
+	// client that raced a little ahead recovers instead of wedging.
+	if atomic.AddInt64(&st.credits, -1) < 0 {
+		sub.Trace.Finish("shed")
+		st.decide(id, StatusShed, rcv)
+		return
+	}
+	ok, err := s.sink.TrySubmitFunc(sub, func(r core.SubmitResult) {
+		status := statusOf(r)
+		// Backstop: the verification pipeline finishes the trace with stage
+		// detail before delivering the decision (Finish is first-wins), so
+		// this only seals traces a simpler sink left open.
+		sub.Trace.Finish(status.String())
+		st.decide(id, status, rcv)
+	})
+	if err != nil {
+		sub.Trace.Finish("failed")
+		st.decide(id, StatusFailed, rcv)
+		return
+	}
+	if ok {
+		return
+	}
+	sub.Trace.Stage("ingest.intake")
+	select {
+	case s.intake <- intakeItem{st: st, id: id, sub: sub, rcv: rcv, enq: telemetry.Start()}:
+	default:
+		sub.Trace.Finish("shed")
+		st.decide(id, StatusShed, rcv)
 	}
 }
 

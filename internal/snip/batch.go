@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"prio/internal/circuit"
 	"prio/internal/field"
@@ -71,11 +72,13 @@ func (sys *System[Fd, E]) CachedEvaluator(ch *Challenge[E]) *Evaluator[Fd, E] {
 	sys.evMu.Lock()
 	if ev, ok := sys.evCache[key]; ok {
 		sys.evMu.Unlock()
+		atomic.AddUint64(&sys.evHits, 1)
 		return ev
 	}
 	sys.evMu.Unlock()
 	// Build outside the lock: EvalWeights is O(N) per repetition and other
 	// challenges' lookups should not wait on it.
+	atomic.AddUint64(&sys.evMisses, 1)
 	ev := sys.NewEvaluator(ch)
 	sys.evMu.Lock()
 	defer sys.evMu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"prio/internal/circuit"
 	"prio/internal/field"
@@ -59,6 +60,18 @@ type System[Fd field.Field[E], E any] struct {
 	evMu    sync.Mutex
 	evCache map[string]*Evaluator[Fd, E]
 	evOrder []string
+
+	// Cache outcome counters (atomic; see EvCacheStats). A healthy
+	// deployment hits almost always — each challenge rotation costs one
+	// miss shared by every in-process server.
+	evHits, evMisses uint64
+}
+
+// EvCacheStats reports the evaluator cache's cumulative hits and misses —
+// the telemetry layer exposes them as the cache hit-rate a mis-tuned
+// rotation cadence (or a challenge flood) would degrade.
+func (sys *System[Fd, E]) EvCacheStats() (hits, misses uint64) {
+	return atomic.LoadUint64(&sys.evHits), atomic.LoadUint64(&sys.evMisses)
 }
 
 // NewSystem builds a SNIP system for circuit c over field f. It fails if

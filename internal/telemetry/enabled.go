@@ -1,0 +1,8 @@
+//go:build !notelemetry
+
+package telemetry
+
+// Enabled reports whether telemetry write operations are compiled in.
+// Build with -tags notelemetry to turn every Add/Observe into a no-op;
+// the CI overhead smoke benchmarks both configurations.
+const Enabled = true

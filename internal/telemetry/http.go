@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and one process serves one admin registry.
+var expvarOnce sync.Once
+
+// AdminHandler serves the operator endpoint for a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      liveness (200 "ok")
+//	/debug/vars   expvar JSON (registry published as "prio")
+//	/debug/pprof  the standard Go profiles
+//	/debug/trace  sampled submission lifecycles from tr (JSON)
+//
+// tr may be nil (the trace dump is then an empty array). Mount it on a
+// listener that is NOT the protocol port — profiles and metric sweeps
+// must never contend with the ingest path's accept loop.
+func AdminHandler(r *Registry, tr *Tracer) http.Handler {
+	RegisterRuntimeMetrics(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("prio", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = tr.WriteJSON(w)
+	})
+	return mux
+}

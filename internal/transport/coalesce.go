@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"prio/internal/telemetry"
 )
 
 // MsgBatched is the reserved envelope type for coalesced requests: a single
@@ -15,6 +17,14 @@ const MsgBatched byte = 0xFE
 
 // errBatch reports a malformed coalescing envelope.
 var errBatch = errors.New("transport: malformed batched envelope")
+
+// coalesceBatchSizes records how many concurrent Calls each flush merged
+// onto the wire, across every Coalescer in the process. The distribution
+// is the wire-amplification dial: a mode at 1 means coalescing buys
+// nothing (each RPC pays its own round-trip); a fat right tail means many
+// shards' rounds share each syscall.
+var coalesceBatchSizes = telemetry.Default.Histogram(
+	"prio_coalesce_batch_size", "calls merged per coalesced flush")
 
 // Envelope wire format (little-endian):
 //
@@ -92,6 +102,7 @@ func (c *Coalescer) Call(msgType byte, payload []byte) ([]byte, error) {
 // flush issues one underlying round-trip for the batch and distributes the
 // results.
 func (c *Coalescer) flush(batch []*pendingCall) {
+	coalesceBatchSizes.Observe(uint64(len(batch)))
 	if len(batch) == 1 {
 		pc := batch[0]
 		pc.resp, pc.err = c.peer.Call(pc.msgType, pc.payload)
