@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBenchJSON(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: prio/internal/core",
+		"cpu: Example CPU @ 3.00GHz",
+		"BenchmarkVerify/sum8-8         \t    1234\t    987654 ns/op\t  12.34 MB/s\t     456 B/op\t       7 allocs/op",
+		"BenchmarkEncode-8 5000 321.5 ns/op",
+		"--- BENCH: BenchmarkNoisy",
+		"    some test chatter",
+		"PASS",
+		"ok  \tprio/internal/core\t2.345s",
+		"",
+	}, "\n")
+	var out bytes.Buffer
+	if err := benchJSON(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "prio/internal/core" {
+		t.Errorf("headers = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkVerify/sum8-8" || b.Iterations != 1234 || b.NsPerOp != 987654 ||
+		b.MBPerSec != 12.34 || b.BytesPerOp != 456 || b.AllocsPerOp != 7 {
+		t.Errorf("first result = %+v", b)
+	}
+	if rep.Benchmarks[1].NsPerOp != 321.5 {
+		t.Errorf("second result = %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestBenchJSONEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := benchJSON(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks == nil || len(rep.Benchmarks) != 0 {
+		t.Errorf("want empty benchmarks array, got %#v", rep.Benchmarks)
+	}
+}

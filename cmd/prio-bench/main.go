@@ -38,6 +38,13 @@ func main() {
 		usage()
 	}
 	cmd := flag.Arg(0)
+	if cmd == "benchjson" {
+		if err := benchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "prio-bench: benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	experiments := map[string]func(){
 		"table2":      table2,
 		"table3":      table3,
@@ -67,5 +74,6 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|batchverify|all}")
+	fmt.Fprintln(os.Stderr, "       prio-bench benchjson < go-test-bench-output > report.json")
 	os.Exit(2)
 }

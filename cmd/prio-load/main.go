@@ -83,10 +83,9 @@ func (c *collector) onAck(a prio.Ack) {
 func main() {
 	flag.Parse()
 	cli.InitLog()
-	if *peersFlag == "" {
-		log.Fatal("prio-load: -peers is required")
+	if *peersFlag == "" && *rosterFlag == "" {
+		log.Fatal("prio-load: -peers or -roster is required")
 	}
-	peers := strings.Split(*peersFlag, ",")
 	scheme, err := prio.ParseScheme(*schemeFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +101,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *rosterFlag != "" {
+		runRoster(scheme, mode, tlsCfg)
+		return
+	}
+	peers := strings.Split(*peersFlag, ",")
 	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: len(peers), Mode: mode, Seal: true})
 	if err != nil {
 		log.Fatal(err)

@@ -81,8 +81,8 @@ func main() {
 	if n == 0 {
 		n = len(peers)
 	}
-	if n == 0 {
-		cli.Fatal("set -servers or -peers")
+	if n == 0 && *rosterFlag == "" {
+		cli.Fatal("set -servers, -peers, or -roster")
 	}
 	mode, err := cli.ParseMode(*modeFlag)
 	if err != nil {
@@ -103,15 +103,6 @@ func main() {
 			cli.Fatal("loading client TLS", "err", err)
 		}
 	}
-	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: n, Mode: mode, Seal: true})
-	if err != nil {
-		cli.Fatal("building protocol", "err", err)
-	}
-	srv, err := prio.NewServer(pro, *index)
-	if err != nil {
-		cli.Fatal("building server", "err", err)
-	}
-
 	// The operator endpoint serves the process-wide default registry, which
 	// the pipeline and ingest subsystems below register into.
 	tracer := telemetry.NewTracer(*traceSample, 256)
@@ -126,6 +117,20 @@ func main() {
 		}
 		defer aln.Close()
 		slog.Info("admin endpoint listening", "addr", aln.Addr().String(), "tls", *useTLS)
+	}
+
+	if *rosterFlag != "" {
+		runCluster(scheme, mode, serverTLS, clientTLS, tracer)
+		return
+	}
+
+	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: n, Mode: mode, Seal: true})
+	if err != nil {
+		cli.Fatal("building protocol", "err", err)
+	}
+	srv, err := prio.NewServer(pro, *index)
+	if err != nil {
+		cli.Fatal("building server", "err", err)
 	}
 
 	if *index != 0 {

@@ -24,6 +24,8 @@ type pipeMetrics struct {
 	rejected *telemetry.Counter
 	failed   *telemetry.Counter
 	refused  *telemetry.Counter
+	retried  *telemetry.Counter
+	reruns   *telemetry.Counter
 
 	bisectProbes *telemetry.Counter // extra Round2Batch probes beyond the first
 	fallbacks    *telemetry.Counter // batches whose combined check failed
@@ -55,6 +57,10 @@ func newPipeMetrics(reg *telemetry.Registry) *pipeMetrics {
 			"submissions by decision", outcome("failed")),
 		refused: reg.Counter("prio_pipeline_submissions_total",
 			"submissions by decision", outcome("refused")),
+		retried: reg.Counter("prio_pipeline_retried_total",
+			"submissions re-run after a batch-level failure (failover re-queue)"),
+		reruns: reg.Counter("prio_verify_batch_reruns_total",
+			"failed verification batches re-run under a fresh batch ID"),
 		bisectProbes: reg.Counter("prio_verify_bisect_probes_total",
 			"extra Round2Batch probes issued by the bisecting fallback"),
 		fallbacks: reg.Counter("prio_verify_batch_fallback_total",

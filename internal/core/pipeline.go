@@ -35,6 +35,7 @@ type Pipeline[Fd field.Field[E], E any] struct {
 	cfg      PipelineConfig
 	sessions []*Leader[Fd, E]
 	queue    chan pipeJob
+	stopping chan struct{} // closed by Close: retry backoffs abort immediately
 
 	wg      sync.WaitGroup
 	shards  []ShardStats
@@ -76,6 +77,18 @@ type PipelineConfig struct {
 	// Sharing one registry between two live pipelines merges their
 	// counters; give each its own for per-instance numbers.
 	Registry *telemetry.Registry
+	// Retries is how many times a shard re-runs a failed batch before
+	// counting its submissions Failed (default 0: fail fast, the
+	// single-process behavior). Each re-run goes through ProcessBatch
+	// afresh, so it allocates a new batch ID — the old attempt's
+	// server-side state was already released by the abort path — and under
+	// a cluster roster the re-run lands on whatever peers answer now, which
+	// is how an interrupted round survives a leader failover.
+	Retries int
+	// RetryBackoff is the pause before the first re-run, doubling per
+	// attempt (default 50ms when Retries > 0). Long enough for the health
+	// checker to notice a dead peer and the roster to re-point.
+	RetryBackoff time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -91,6 +104,9 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 4 * c.Shards * c.MaxBatch
 	}
+	if c.Retries > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -102,7 +118,15 @@ type ShardStats struct {
 	Processed uint64 // submissions decided
 	Accepted  uint64 // submissions whose shares entered the accumulators
 	Rejected  uint64 // submissions refused by SNIP/MPC verification
-	Failed    uint64 // submissions lost to batch-level errors
+	Failed    uint64 // submissions lost to batch-level errors (after any retries)
+	// Retried counts submission re-runs: a batch that failed its round and
+	// was re-driven contributes its size here per extra attempt. Retried
+	// submissions are not double-counted in Processed/Accepted/Rejected —
+	// only the attempt that reaches a decision lands there.
+	Retried uint64
+	// FailedOver counts batch re-run attempts (each under a fresh batch ID,
+	// the old attempt's server-side state released by the abort path).
+	FailedOver uint64
 	// Refused counts submissions TrySubmitFunc turned away with a full
 	// queue (whole pipeline, not per shard). Whether a refusal is a loss is
 	// the intake edge's call: the streaming ingest layer re-queues refusals
@@ -119,6 +143,8 @@ func (s *ShardStats) merge(o ShardStats) {
 	s.Accepted += o.Accepted
 	s.Rejected += o.Rejected
 	s.Failed += o.Failed
+	s.Retried += o.Retried
+	s.FailedOver += o.FailedOver
 	s.Refused += o.Refused
 }
 
@@ -171,10 +197,11 @@ func NewPipeline[Fd field.Field[E], E any](leader *Leader[Fd, E], cfg PipelineCo
 		reg = telemetry.New()
 	}
 	p := &Pipeline[Fd, E]{
-		cfg:    cfg,
-		queue:  make(chan pipeJob, cfg.QueueDepth),
-		shards: make([]ShardStats, cfg.Shards),
-		m:      newPipeMetrics(reg),
+		cfg:      cfg,
+		queue:    make(chan pipeJob, cfg.QueueDepth),
+		stopping: make(chan struct{}),
+		shards:   make([]ShardStats, cfg.Shards),
+		m:        newPipeMetrics(reg),
 	}
 	p.quiet = sync.NewCond(&p.mu)
 	reg.GaugeFunc("prio_pipeline_queue_depth",
@@ -341,6 +368,27 @@ func (p *Pipeline[Fd, E]) shardLoop(i int) {
 		accepts, err := sess.ProcessBatch(subs)
 		p.m.batchDur.Since(t0)
 
+		// Batch-level failure: re-run the whole batch in place, up to
+		// cfg.Retries times with doubling backoff. Each attempt is a fresh
+		// ProcessBatch — new batch ID, prior attempt's server state already
+		// released by the leader's abort path — so under a cluster roster
+		// this is the failover re-run: the interrupted round is driven
+		// again once the surviving peers answer, instead of discarding the
+		// submissions. Retrying in-shard (not re-queueing) cannot deadlock
+		// on a full queue and preserves completion-callback ordering.
+		for attempt := 1; err != nil && attempt <= p.cfg.Retries; attempt++ {
+			atomic.AddUint64(&st.FailedOver, 1)
+			atomic.AddUint64(&st.Retried, uint64(len(jobs)))
+			p.m.reruns.Inc()
+			p.m.retried.Add(uint64(len(jobs)))
+			if !p.sleepRetry(p.cfg.RetryBackoff << (attempt - 1)) {
+				break // closing: give up on further attempts
+			}
+			t0 = p.m.start()
+			accepts, err = sess.ProcessBatch(subs)
+			p.m.batchDur.Since(t0)
+		}
+
 		// Counters are written with atomics so Stats can snapshot them
 		// while the shard runs; one add per outcome per batch keeps the
 		// accounting off the per-submission path.
@@ -376,6 +424,22 @@ func (p *Pipeline[Fd, E]) shardLoop(i int) {
 	}
 }
 
+// sleepRetry pauses for a retry backoff, returning false when the pipeline
+// is closing and the retry should be abandoned.
+func (p *Pipeline[Fd, E]) sleepRetry(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.stopping:
+		return false
+	}
+}
+
 // recordErr keeps the first batch-level failure for Close to return.
 func (p *Pipeline[Fd, E]) recordErr(err error) {
 	p.mu.Lock()
@@ -404,6 +468,7 @@ func (p *Pipeline[Fd, E]) Close() error {
 	if !p.closed {
 		p.closed = true
 		close(p.queue)
+		close(p.stopping)
 	}
 	p.closeMu.Unlock()
 	p.wg.Wait()
@@ -431,11 +496,13 @@ func (p *Pipeline[Fd, E]) ShardStatsAt(i int) ShardStats { return p.loadShard(i)
 func (p *Pipeline[Fd, E]) loadShard(i int) ShardStats {
 	s := &p.shards[i]
 	return ShardStats{
-		Batches:   atomic.LoadUint64(&s.Batches),
-		Processed: atomic.LoadUint64(&s.Processed),
-		Accepted:  atomic.LoadUint64(&s.Accepted),
-		Rejected:  atomic.LoadUint64(&s.Rejected),
-		Failed:    atomic.LoadUint64(&s.Failed),
+		Batches:    atomic.LoadUint64(&s.Batches),
+		Processed:  atomic.LoadUint64(&s.Processed),
+		Accepted:   atomic.LoadUint64(&s.Accepted),
+		Rejected:   atomic.LoadUint64(&s.Rejected),
+		Failed:     atomic.LoadUint64(&s.Failed),
+		Retried:    atomic.LoadUint64(&s.Retried),
+		FailedOver: atomic.LoadUint64(&s.FailedOver),
 	}
 }
 

@@ -114,6 +114,38 @@ func (s *Server[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
 // Handler returns s.Handle as a transport.Handler.
 func (s *Server[Fd, E]) Handler() transport.Handler { return s.Handle }
 
+// ReleaseLeader drops every piece of round state a given leader server left
+// behind: in-flight batches (xShares, verifier sessions), challenge engines,
+// and challenge-window bookkeeping whose IDs carry leader in their top bits.
+// Cluster members call it when the health checker declares a peer dead — a
+// leader killed between Round1 and MsgFinish can never finish its batches,
+// so without this the state would sit in the maps forever. The accumulator
+// is untouched: finished batches stay counted.
+//
+// It returns how many batches and challenges were released, for logging.
+func (s *Server[Fd, E]) ReleaseLeader(leader int) (batches, challenges int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.batches {
+		if int(id>>48) == leader {
+			delete(s.batches, id)
+			batches++
+		}
+	}
+	for id := range s.challenges {
+		if int(id>>24) == leader {
+			delete(s.challenges, id)
+			challenges++
+		}
+	}
+	for ns := range s.lastChall {
+		if int(ns>>8) == leader {
+			delete(s.lastChall, ns)
+		}
+	}
+	return batches, challenges
+}
+
 func (s *Server[Fd, E]) resetLocked() {
 	acc := make([]E, s.pro.kPrime)
 	f := s.pro.Cfg.Field

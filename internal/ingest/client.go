@@ -175,6 +175,12 @@ func (s *StreamSubmitter) Stats() SubmitterStats {
 	}
 }
 
+// Done returns a channel that is closed when the stream dies — transport
+// failure, server error frame, or Close. After it fires, Err reports why and
+// any still-outstanding submissions will never be acked; a failover layer
+// uses this as its re-dial trigger.
+func (s *StreamSubmitter) Done() <-chan struct{} { return s.dead }
+
 // Err returns the error that killed the stream, if any.
 func (s *StreamSubmitter) Err() error {
 	s.mu.Lock()

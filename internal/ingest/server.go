@@ -49,6 +49,12 @@ type Config struct {
 	// edge: sampled submissions carry a Trace through the pipeline and land
 	// in the tracer's ring on decision.
 	Tracer *telemetry.Tracer
+	// Gate, when non-nil, is consulted once per stream open: a non-nil
+	// error refuses the stream with an MsgError frame carrying the error
+	// text. Cluster followers install their node's LeaderGate here so
+	// clients dialing a non-leader get an immediate, descriptive refusal
+	// (naming the sitting leader) instead of a silently idle stream.
+	Gate func() error
 }
 
 // withDefaults resolves the zero values.
@@ -264,6 +270,13 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 		fc.WriteFrame(transport.MsgError, []byte(fmt.Sprintf("ingest: unknown subprotocol %q", open)))
 		fc.Flush()
 		return
+	}
+	if s.cfg.Gate != nil {
+		if err := s.cfg.Gate(); err != nil {
+			fc.WriteFrame(transport.MsgError, []byte(err.Error()))
+			fc.Flush()
+			return
+		}
 	}
 	s.mu.Lock()
 	if s.closed {

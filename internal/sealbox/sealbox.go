@@ -18,7 +18,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/ecdh"
-	"crypto/hkdf"
+	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"errors"
@@ -67,12 +67,37 @@ func ParsePublicKey(b []byte) (*PublicKey, error) {
 // Public returns the public half of the key.
 func (p *PrivateKey) Public() *PublicKey { return &PublicKey{k: p.k.PublicKey()} }
 
-// deriveKey computes the AEAD key for (shared secret, epk, rpk).
+// Bytes returns the 32-byte encoding of the private scalar, for servers that
+// persist their identity across restarts (cmd/prio-server -key-file). Treat
+// the output as a secret.
+func (p *PrivateKey) Bytes() []byte { return p.k.Bytes() }
+
+// ParsePrivateKey decodes a 32-byte X25519 private key produced by
+// PrivateKey.Bytes.
+func ParsePrivateKey(b []byte) (*PrivateKey, error) {
+	k, err := ecdh.X25519().NewPrivateKey(b)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivateKey{k: k}, nil
+}
+
+// deriveKey computes the AEAD key for (shared secret, epk, rpk): HKDF-SHA256
+// (RFC 5869) with the concatenated public keys as salt, inlined over
+// crypto/hmac so the module builds on every toolchain go.mod admits.
 func deriveKey(shared, epk, rpk []byte) ([]byte, error) {
 	salt := make([]byte, 0, 64)
 	salt = append(salt, epk...)
 	salt = append(salt, rpk...)
-	return hkdf.Key(sha256.New, shared, salt, "prio/sealbox/v1", 32)
+	// Extract: PRK = HMAC(salt, IKM).
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(shared)
+	prk := ext.Sum(nil)
+	// Expand: one block suffices for a 32-byte output (SHA-256 width).
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte("prio/sealbox/v1"))
+	exp.Write([]byte{1})
+	return exp.Sum(nil), nil
 }
 
 // Seal encrypts plaintext to the recipient, prepending the ephemeral public

@@ -87,6 +87,33 @@ func TestShortBoxRejected(t *testing.T) {
 	}
 }
 
+func TestPrivateKeyEncoding(t *testing.T) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := priv.Bytes()
+	if len(b) != 32 {
+		t.Fatalf("private key length %d", len(b))
+	}
+	back, err := ParsePrivateKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A restarted server with the persisted key must open boxes sealed to
+	// the original public key (the cluster failover scenario).
+	box, err := Seal(pub, []byte("sealed before restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(back, box); err != nil {
+		t.Fatalf("restored key failed to open: %v", err)
+	}
+	if _, err := ParsePrivateKey(b[:31]); err == nil {
+		t.Error("short private key accepted")
+	}
+}
+
 func TestPublicKeyEncoding(t *testing.T) {
 	pub, _, err := GenerateKey()
 	if err != nil {

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"crypto/tls"
+	"net"
+	"sync"
+	"time"
+)
+
+// RedialPeer is a Peer that dials lazily and re-dials after transport-level
+// failures, instead of staying dead the way a TCPPeer does once its
+// connection breaks. Cluster members use it for their peer links: a server
+// that was restarted (the failover drill kills one with SIGKILL) becomes
+// reachable again on the next Call without anyone rebuilding the peer set.
+//
+// Calls are serialized on the connection, like TCPPeer; wrap in a Coalescer
+// when concurrent leader sessions share the peer. A remote handler error
+// (MsgError response) is a healthy exchange and keeps the connection; only
+// dial, write, and read failures drop it.
+type RedialPeer struct {
+	addr   string
+	tlsCfg *tls.Config
+
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	stats  Stats
+	closed bool
+}
+
+// NewRedialPeer builds a re-dialing peer for addr. No connection is made
+// until the first Call.
+func NewRedialPeer(addr string, tlsCfg *tls.Config) *RedialPeer {
+	return &RedialPeer{addr: addr, tlsCfg: tlsCfg, DialTimeout: 2 * time.Second}
+}
+
+// Call implements Peer.
+func (p *RedialPeer) Call(msgType byte, payload []byte) ([]byte, error) {
+	return p.call(msgType, payload, 0)
+}
+
+// CallTimeout is Call with a deadline covering the dial (if needed), the
+// write, and the read of the response. Health probes use it so a hung peer
+// turns into a timely error instead of a stuck checker.
+func (p *RedialPeer) CallTimeout(msgType byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	return p.call(msgType, payload, timeout)
+}
+
+func (p *RedialPeer) call(msgType byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if p.conn == nil {
+		dt := p.DialTimeout
+		if timeout > 0 && (dt == 0 || timeout < dt) {
+			dt = timeout
+		}
+		conn, err := dialConn(p.addr, p.tlsCfg, dt)
+		if err != nil {
+			return nil, err
+		}
+		p.conn = conn
+	}
+	if timeout > 0 {
+		p.conn.SetDeadline(time.Now().Add(timeout))
+		defer p.conn.SetDeadline(time.Time{})
+	}
+	respType, resp, err := p.writeRead(msgType, payload)
+	if err != nil {
+		// Transport-level failure: drop the connection so the next Call
+		// re-dials.
+		p.conn.Close()
+		p.conn = nil
+		return nil, err
+	}
+	return decodeCallResult(msgType, respType, resp)
+}
+
+func (p *RedialPeer) writeRead(msgType byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(p.conn, msgType, payload); err != nil {
+		return 0, nil, err
+	}
+	p.stats.add(true, frameLen(payload))
+	respType, resp, err := readFrame(p.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.stats.add(false, frameLen(resp))
+	return respType, resp, nil
+}
+
+// Stats implements Peer.
+func (p *RedialPeer) Stats() *Stats { return &p.stats }
+
+// Close implements Peer: drops any live connection and refuses further Calls.
+func (p *RedialPeer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.conn == nil {
+		return nil
+	}
+	err := p.conn.Close()
+	p.conn = nil
+	return err
+}
+
+// dialConn opens one (possibly TLS) connection with a bounded dial.
+func dialConn(addr string, tlsCfg *tls.Config, timeout time.Duration) (net.Conn, error) {
+	d := &net.Dialer{Timeout: timeout}
+	if tlsCfg != nil {
+		return tls.DialWithDialer(d, "tcp", addr, tlsCfg)
+	}
+	return d.Dial("tcp", addr)
+}

@@ -168,6 +168,12 @@ func (s *Server) acceptLoop() {
 				if err != nil {
 					return
 				}
+				if msgType == MsgPing {
+					if err := writeFrame(conn, MsgPing, payload); err != nil {
+						return
+					}
+					continue
+				}
 				if msgType == MsgStreamOpen {
 					s.mu.Lock()
 					sh := s.stream

@@ -164,6 +164,12 @@ func (p *LoopbackPeer) Close() error { return nil }
 // it too, to report a fatal stream error before closing.
 const MsgError byte = 0xFF
 
+// MsgPing is the reserved liveness probe: TCP servers echo the frame back
+// (payload included) from the read loop itself, before any handler dispatch,
+// so a ping measures transport liveness even when the application handler is
+// busy. Cluster health checks (internal/cluster) ride on it.
+const MsgPing byte = 0xFC
+
 func encodeHandlerResult(msgType byte, resp []byte, err error) (byte, []byte) {
 	if err != nil {
 		return MsgError, []byte(err.Error())
