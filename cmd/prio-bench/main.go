@@ -13,6 +13,7 @@
 //	prio-bench pipeline — throughput vs concurrent verification shards
 //	prio-bench ingest   — streamed vs round-trip submission throughput
 //	prio-bench batchverify — batched vs per-submission SNIP verification
+//	prio-bench window   — checkpoint write/recovery latency vs accumulator size
 //	prio-bench all      — everything above, in order
 //
 // Absolute numbers differ from the paper's 2016 EC2 testbed; the shapes —
@@ -57,9 +58,10 @@ func main() {
 		"pipeline":    figPipeline,
 		"ingest":      figIngest,
 		"batchverify": figBatchVerify,
+		"window":      figWindow,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline", "ingest", "batchverify"} {
+		for _, name := range []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "table9", "pipeline", "ingest", "batchverify", "window"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -73,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|batchverify|all}")
+	fmt.Fprintln(os.Stderr, "usage: prio-bench [-full] {table2|table3|fig4|fig5|fig6|fig7|fig8|table9|pipeline|ingest|batchverify|window|all}")
 	fmt.Fprintln(os.Stderr, "       prio-bench benchjson < go-test-bench-output > report.json")
 	os.Exit(2)
 }

@@ -156,6 +156,8 @@ func main() {
 	log.Printf("prio-load: %d streams (%d credits each), %s loop, %s scheme, %v",
 		*streams, subs[0].Credits(), discipline, scheme.Name(), *duration)
 
+	stopLedger := startWindowLedger(col)
+
 	// Generate. Each stream has one generator goroutine; the open loop adds
 	// a token feed shared by all of them.
 	deadline := time.Now().Add(*duration)
@@ -210,6 +212,7 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	stopLedger()
 
 	lat := col.latencies.Snapshot()
 	acked := lat.Count

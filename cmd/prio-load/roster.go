@@ -94,6 +94,7 @@ func runRoster(scheme prio.Scheme, mode prio.Mode, tlsCfg *tls.Config) {
 	log.Printf("prio-load: %d failover streams across %d members, %s loop, %s scheme, %v",
 		*streams, ros.N(), discipline, scheme.Name(), *duration)
 
+	stopLedger := startWindowLedger(col)
 	deadline := time.Now().Add(*duration)
 	var tokens chan struct{}
 	var overrun uint64
@@ -153,6 +154,7 @@ func runRoster(scheme prio.Scheme, mode prio.Mode, tlsCfg *tls.Config) {
 		total.Abandoned += st.Abandoned
 	}
 	elapsed := time.Since(start)
+	stopLedger()
 
 	lat := col.latencies.Snapshot()
 	fmt.Printf("submitted=%d acked=%d accepted=%d rejected=%d shed=0 failed=%d\n",

@@ -1,0 +1,66 @@
+// Per-window ledger: with -window set to the servers' collection width,
+// prio-load prints one line per closed window with the ack deltas that
+// landed in it, so a run against a windowed deployment shows which
+// submissions each published window should contain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"prio/internal/window"
+)
+
+var loadWindow = flag.Duration("window", 0, "print a per-window ack ledger line each collection window (match the servers' -window)")
+
+// startWindowLedger samples the collector at every window boundary and
+// prints the delta. Returns a stop function that flushes the final partial
+// window.
+func startWindowLedger(col *collector) (stop func()) {
+	width := *loadWindow
+	if width <= 0 {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	var last [4]uint64
+	var lastAcked uint64
+	line := func(id uint64, final bool) {
+		cur := [4]uint64{
+			atomic.LoadUint64(&col.accepted),
+			atomic.LoadUint64(&col.rejected),
+			atomic.LoadUint64(&col.shed),
+			atomic.LoadUint64(&col.failed),
+		}
+		acked := col.latencies.Snapshot().Count
+		tag := "closed"
+		if final {
+			tag = "partial"
+		}
+		fmt.Printf("window %d %s: acked=%d accepted=%d rejected=%d shed=%d failed=%d\n",
+			id, tag, acked-lastAcked, cur[0]-last[0], cur[1]-last[1], cur[2]-last[2], cur[3]-last[3])
+		last, lastAcked = cur, acked
+	}
+	go func() {
+		defer close(done)
+		for {
+			now := time.Now()
+			id := window.ID(now, width)
+			t := time.NewTimer(window.EndOf(id, width).Sub(now) + 2*time.Millisecond)
+			select {
+			case <-stopCh:
+				t.Stop()
+				line(window.ID(time.Now(), width), true)
+				return
+			case <-t.C:
+				line(id, false)
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}

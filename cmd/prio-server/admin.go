@@ -9,13 +9,21 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"prio/internal/telemetry"
 )
 
-// startAdmin serves /metrics, /healthz, /debug/vars, /debug/pprof/*, and
-// /debug/trace on addr. A non-nil tlsCfg wraps the listener in TLS (the
+// aggregatesHandler is the /aggregates route, installed late: the admin
+// endpoint starts before the protocol stack (and thus before the window
+// service) exists, so the route answers 404 until windowing comes up.
+var aggregatesHandler atomic.Pointer[http.Handler]
+
+func setAggregatesHandler(h http.Handler) { aggregatesHandler.Store(&h) }
+
+// startAdmin serves /metrics, /healthz, /aggregates, /debug/vars,
+// /debug/pprof/*, and /debug/trace on addr. A non-nil tlsCfg wraps the listener in TLS (the
 // same material as the protocol port); nil serves plaintext.
 func startAdmin(addr string, tlsCfg *tls.Config, tr *telemetry.Tracer) (net.Listener, error) {
 	telemetry.RegisterRuntimeMetrics(telemetry.Default)
@@ -26,8 +34,17 @@ func startAdmin(addr string, tlsCfg *tls.Config, tr *telemetry.Tracer) (net.List
 	if tlsCfg != nil {
 		ln = tls.NewListener(ln, tlsCfg)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.AdminHandler(telemetry.Default, tr))
+	mux.HandleFunc("/aggregates", func(w http.ResponseWriter, r *http.Request) {
+		if h := aggregatesHandler.Load(); h != nil {
+			(*h).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "windowed aggregation disabled (start with -window)", http.StatusNotFound)
+	})
 	srv := &http.Server{
-		Handler:           telemetry.AdminHandler(telemetry.Default, tr),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {

@@ -169,6 +169,14 @@ func runCluster(scheme prio.Scheme, mode prio.Mode, serverTLS, clientTLS *tls.Co
 		cli.Fatal("building pipeline", "err", err)
 	}
 	defer pl.Close()
+	// Every member runs the window service: all of them window shares, add
+	// their own seal noise, and checkpoint; the IsLeader gate means only the
+	// sitting leader drives window closes, and that duty moves with the
+	// leadership on failover (sealing is idempotent, so a close retried by a
+	// successor republishes bit-identical bytes).
+	if svc := startWindowService(srv, leader, pl.Quiesce, node.IsLeader); svc != nil {
+		defer svc.Close()
+	}
 	ld.start(pl)
 
 	node.Start()

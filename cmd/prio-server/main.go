@@ -134,6 +134,11 @@ func main() {
 	}
 
 	if *index != 0 {
+		// Followers never publish, but they still window their shares, add
+		// their own seal noise, and checkpoint durably.
+		if svc := startWindowService(srv, nil, nil, nil); svc != nil {
+			defer svc.Close()
+		}
 		ln, err := prio.ListenAndServeTLS(*listen, srv, serverTLS)
 		if err != nil {
 			cli.Fatal("listening", "err", err)
@@ -191,6 +196,12 @@ func main() {
 		cli.Fatal("building pipeline", "err", err)
 	}
 	defer pl.Close()
+	// The window service recovers from any checkpoint before intake starts,
+	// and closes windows inside the pipeline's quiesce so a seal never races
+	// a committing batch.
+	if svc := startWindowService(srv, leader, pl.Quiesce, nil); svc != nil {
+		defer svc.Close()
+	}
 	ld.start(pl)
 	slog.Info("leader listening", "scheme", scheme.Name(), "mode", mode.String(),
 		"tls", *useTLS, "addr", ln.Addr().String(), "servers", n,

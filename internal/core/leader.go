@@ -257,6 +257,13 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	challID := l.challID
 	l.lmu.Unlock()
 
+	// Stamp the batch with the collection window open right now (0 when
+	// windowing is off). One stamp per batch, leader-assigned, so every
+	// server files these submissions under the same window regardless of
+	// clock skew; it rides in Round1 (for no-robust accumulation) and in
+	// the commit finish (where the robust modes accumulate).
+	wid := l.currentWindow()
+
 	// In the robust modes, Round1 seeds per-batch state on every server
 	// that completes it, and only MsgFinish releases that state. If the
 	// batch fails in any later round — or Round1 itself fails on just some
@@ -284,6 +291,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 		for _, sub := range subs {
 			w.blob(sub.Bundles[i])
 		}
+		w.u64(wid)
 		reqs[i] = w.b
 	}
 	t0 := l.m.start()
@@ -475,6 +483,7 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	fw := &wbuf{}
 	fw.u64(batchID)
 	fw.blob(bitmap)
+	fw.u64(wid)
 	finished = true
 	t0 = l.m.start()
 	if _, err := l.broadcast(MsgFinish, l.same(fw.b)); err != nil {
@@ -591,7 +600,7 @@ func (l *Leader[Fd, E]) Aggregate() ([]E, uint64, error) {
 	return agg, count, nil
 }
 
-// Reset clears all servers' accumulators and sessions (benchmark epochs).
+// Reset clears all servers' accumulators and sessions (benchmark runs).
 // Concurrent in-flight batches will fail their next round after a reset;
 // quiesce first.
 func (l *Leader[Fd, E]) Reset() error {

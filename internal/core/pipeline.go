@@ -460,6 +460,20 @@ func (p *Pipeline[Fd, E]) Drain() {
 	p.mu.Unlock()
 }
 
+// Quiesce pauses intake, waits until every in-flight submission has been
+// decided, runs fn, then resumes intake. It is the boundary primitive the
+// window service uses to close a collection window: with no batch in flight,
+// advancing the window function and sealing the closed window cannot race a
+// commit, so every server files every submission under the same window.
+// Unlike a bare Drain, Quiesce blocks new Submits for the duration, so it
+// completes even under sustained load.
+func (p *Pipeline[Fd, E]) Quiesce(fn func()) {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	p.Drain()
+	fn()
+}
+
 // Close stops intake, waits for the shards to finish every queued
 // submission, and returns the first batch-level error (nil when every batch
 // completed its rounds — individual rejections are not errors).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"prio/internal/field"
 	"prio/internal/mpc"
@@ -30,6 +31,15 @@ type Server[Fd field.Field[E], E any] struct {
 	batches    map[uint64]*batchState[Fd, E]
 	acc        []E
 	accCount   uint64
+	windows    map[uint64]*windowAcc[E] // per-collection-window accumulators (see window.go)
+	spilled    uint64                   // shares rolled forward past a sealed window
+
+	// windowFn stamps batches with their collection window (leader sessions
+	// read it at commit time); noiseFn is this server's own DP-at-seal
+	// policy. Both are atomics so handlers and sessions read them without
+	// taking mu; nil means windowing / noise is off.
+	windowFn atomic.Pointer[func() uint64]
+	noiseFn  atomic.Pointer[func(k int) ([]E, float64, error)]
 }
 
 // challState caches the per-challenge verification engine.
@@ -99,6 +109,8 @@ func (s *Server[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
 		return s.handleFinish(payload)
 	case MsgAggregate:
 		return s.handleAggregate()
+	case MsgWindowPublish:
+		return s.handleWindowPublish(payload)
 	case MsgReset:
 		s.mu.Lock()
 		s.resetLocked()
@@ -155,6 +167,8 @@ func (s *Server[Fd, E]) resetLocked() {
 	s.acc = acc
 	s.accCount = 0
 	s.batches = make(map[uint64]*batchState[Fd, E])
+	s.windows = make(map[uint64]*windowAcc[E])
+	s.spilled = 0
 }
 
 func (s *Server[Fd, E]) handleSetChallenge(payload []byte) ([]byte, error) {
@@ -268,6 +282,13 @@ func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
 			mpcOpens = append(mpcOpens, open)
 		}
 	}
+	// Optional trailing collection-window stamp (window.go). Robust modes
+	// re-learn it from MsgFinish, where accumulation actually happens; the
+	// Round1 copy is for no-robust mode, which accumulates right here.
+	wid := uint64(0)
+	if r.off < len(r.b) {
+		wid = r.u64()
+	}
 	if !r.done() {
 		return nil, errTruncated
 	}
@@ -310,6 +331,7 @@ func (s *Server[Fd, E]) handleRound1(payload []byte) ([]byte, error) {
 	if p.Cfg.Mode == ModeNoRobust {
 		for _, x := range bs.xShares {
 			field.AddVec(f, s.acc, x[:p.kPrime])
+			s.windowAddLocked(wid, x[:p.kPrime])
 		}
 		s.accCount += uint64(count)
 	} else {
@@ -507,6 +529,15 @@ func (s *Server[Fd, E]) handleFinish(payload []byte) ([]byte, error) {
 	if r.err != nil {
 		return nil, errTruncated
 	}
+	// Optional trailing collection-window stamp (window.go); absent means
+	// unwindowed, and the per-window path stays dormant.
+	wid := uint64(0)
+	if r.off < len(r.b) {
+		wid = r.u64()
+	}
+	if !r.done() {
+		return nil, errTruncated
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bs := s.batches[batchID]
@@ -523,6 +554,7 @@ func (s *Server[Fd, E]) handleFinish(payload []byte) ([]byte, error) {
 		}
 		field.AddVec(f, s.acc, bs.xShares[j][:p.kPrime])
 		s.accCount++
+		s.windowAddLocked(wid, bs.xShares[j][:p.kPrime])
 	}
 	return nil, nil
 }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"prio/internal/field"
+)
+
+// submitValues pushes one batch of honest submissions through the leader.
+func submitValues(t *testing.T, cl *Cluster[field.F64, uint64], client *Client[field.F64, uint64], scheme interface {
+	Encode(uint64) ([]uint64, error)
+}, values ...uint64) {
+	t.Helper()
+	var subs []*Submission
+	for _, v := range values {
+		enc, err := scheme.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	accepts, err := cl.Leader.ProcessBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range accepts {
+		if !ok {
+			t.Fatalf("honest submission %d rejected", i)
+		}
+	}
+}
+
+func TestWindowedAccumulationAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeNoRobust, ModeSNIP, ModeMPC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, cl, client, scheme := newSumDeployment(t, mode, 3, false)
+			var cur atomic.Uint64
+			cur.Store(1)
+			for _, srv := range cl.Servers {
+				srv.SetWindowFunc(cur.Load)
+			}
+
+			submitValues(t, cl, client, scheme, 3, 4)
+			cur.Store(2)
+			submitValues(t, cl, client, scheme, 10)
+
+			w1, err := cl.Leader.PublishWindow(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w1.Consistent() || w1.Counts[0] != 2 {
+				t.Fatalf("window 1: counts = %v", w1.Counts)
+			}
+			if w1.Noised {
+				t.Fatal("window 1 claims noise with no noise hook installed")
+			}
+			if got := w1.Agg[0]; got != 7 {
+				t.Fatalf("window 1 aggregate = %d, want 7", got)
+			}
+			w2, err := cl.Leader.PublishWindow(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w2.Consistent() || w2.Counts[0] != 1 || w2.Agg[0] != 10 {
+				t.Fatalf("window 2: counts = %v, agg = %v", w2.Counts, w2.Agg[0])
+			}
+
+			// The all-time accumulator is untouched by windowing.
+			agg, n, err := cl.Leader.Aggregate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 3 || agg[0] != 17 {
+				t.Fatalf("all-time aggregate = %d over %d, want 17 over 3", agg[0], n)
+			}
+		})
+	}
+}
+
+func TestWindowPublishIdempotent(t *testing.T) {
+	f := field.NewF64()
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(func() uint64 { return 7 })
+		// A noise hook that yields a different vector every call: only
+		// seal-once makes repeated publishes bit-identical.
+		calls := 0
+		srv.SetWindowNoise(func(k int) ([]uint64, float64, error) {
+			calls++
+			noise := make([]uint64, k)
+			for i := range noise {
+				noise[i] = f.FromInt64(int64(calls * 1000))
+			}
+			return noise, 0.5, nil
+		})
+	}
+	submitValues(t, cl, client, scheme, 5, 6)
+
+	first, err := cl.Leader.PublishWindow(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Noised || first.MinEps() != 0.5 {
+		t.Fatalf("first publish: noised=%v eps=%v", first.Noised, first.Eps)
+	}
+	second, err := cl.Leader.PublishWindow(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Agg, second.Agg) {
+		t.Fatalf("re-publish not bit-identical: %v vs %v", first.Agg, second.Agg)
+	}
+	if !reflect.DeepEqual(first.Counts, second.Counts) || !reflect.DeepEqual(first.Eps, second.Eps) {
+		t.Fatal("re-publish metadata differs")
+	}
+}
+
+func TestWindowSealRefusedSurfacesError(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	refused := errors.New("budget exhausted")
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(func() uint64 { return 3 })
+		srv.SetWindowNoise(func(k int) ([]uint64, float64, error) {
+			return nil, 0, refused
+		})
+	}
+	submitValues(t, cl, client, scheme, 1)
+	if _, err := cl.Leader.PublishWindow(3); !errors.Is(err, refused) {
+		t.Fatalf("publish error = %v, want wrapped %v", err, refused)
+	}
+}
+
+func TestWindowSpillForward(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(func() uint64 { return 4 })
+	}
+	submitValues(t, cl, client, scheme, 2)
+	if _, err := cl.Leader.PublishWindow(4); err != nil {
+		t.Fatal(err)
+	}
+	// A late batch still stamped for the sealed window must not mutate the
+	// published aggregate; it rolls into window 5.
+	submitValues(t, cl, client, scheme, 9)
+	again, err := cl.Leader.PublishWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Agg[0] != 2 || again.Counts[0] != 1 {
+		t.Fatalf("sealed window mutated: agg=%d counts=%v", again.Agg[0], again.Counts)
+	}
+	next, err := cl.Leader.PublishWindow(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Agg[0] != 9 || next.Counts[0] != 1 {
+		t.Fatalf("spilled share lost: agg=%d counts=%v", next.Agg[0], next.Counts)
+	}
+	for i, srv := range cl.Servers {
+		if srv.WindowSpills() != 1 {
+			t.Errorf("server %d spills = %d, want 1", i, srv.WindowSpills())
+		}
+	}
+}
+
+func TestAccStateRoundTrip(t *testing.T) {
+	pro, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	var cur atomic.Uint64
+	cur.Store(1)
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(cur.Load)
+	}
+	submitValues(t, cl, client, scheme, 11, 12)
+	if _, err := cl.Leader.PublishWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	cur.Store(2)
+	submitValues(t, cl, client, scheme, 13)
+
+	for i, srv := range cl.Servers {
+		st := srv.AccState()
+		if st.TotalCount != 3 || len(st.Windows) != 2 {
+			t.Fatalf("server %d: state = %+v", i, st)
+		}
+		if !st.Windows[0].Sealed || st.Windows[1].Sealed {
+			t.Fatalf("server %d: seal flags wrong: %+v", i, st.Windows)
+		}
+		fresh, err := NewServer(pro, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.RestoreAccState(st); err != nil {
+			t.Fatal(err)
+		}
+		got := fresh.AccState()
+		if !reflect.DeepEqual(st, got) {
+			t.Fatalf("server %d: restore not exact:\n%+v\n%+v", i, st, got)
+		}
+	}
+
+	// Restore validation: wrong vector width and reserved ID refused.
+	fresh, _ := NewServer(pro, 0, nil)
+	if err := fresh.RestoreAccState(AccState[uint64]{Total: []uint64{1, 2, 3}}); err == nil {
+		t.Error("wrong total width accepted")
+	}
+	st := cl.Servers[0].AccState()
+	st.Windows[0].ID = 0
+	if err := fresh.RestoreAccState(st); err == nil {
+		t.Error("reserved window ID 0 accepted")
+	}
+}
+
+func TestWindowRetentionPrunes(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	var cur atomic.Uint64
+	cur.Store(1)
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(cur.Load)
+	}
+	submitValues(t, cl, client, scheme, 1)
+	if _, err := cl.Leader.PublishWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	// Sealing a window far in the future prunes window 1 (sealed, beyond
+	// the retention horizon) but keeps unsealed windows.
+	far := uint64(windowRetention + 10)
+	cur.Store(far)
+	submitValues(t, cl, client, scheme, 2)
+	if _, err := cl.Leader.PublishWindow(far); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Servers[0].AccState()
+	for _, ws := range st.Windows {
+		if ws.ID == 1 {
+			t.Fatal("window 1 survived past the retention horizon")
+		}
+	}
+}
+
+func TestPipelineQuiesce(t *testing.T) {
+	_, cl, client, scheme := newSumDeployment(t, ModeSNIP, 2, false)
+	pipe, err := NewPipeline(cl.Leader, PipelineConfig{Shards: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	var cur atomic.Uint64
+	cur.Store(1)
+	for _, srv := range cl.Servers {
+		srv.SetWindowFunc(cur.Load)
+	}
+	for i := 0; i < 10; i++ {
+		enc, _ := scheme.Encode(1)
+		sub, err := client.BuildSubmission(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pipe.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pub *WindowPublish[uint64]
+	pipe.Quiesce(func() {
+		cur.Store(2)
+		var err error
+		pub, err = cl.Leader.PublishWindow(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !pub.Consistent() || pub.Counts[0] != 10 || pub.Agg[0] != 10 {
+		t.Fatalf("quiesced window publish: counts=%v agg=%v", pub.Counts, pub.Agg[0])
+	}
+	// The pipeline stays usable after Quiesce.
+	enc, _ := scheme.Encode(1)
+	sub, err := client.BuildSubmission(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := pipe.SubmitWait(sub); err != nil || !ok {
+		t.Fatalf("post-quiesce submit: ok=%v err=%v", ok, err)
+	}
+}

@@ -23,6 +23,12 @@ const (
 	// with fresh RLC seeds; each reply is a single combined σ/τ share for
 	// the probed range instead of one pair per submission.
 	MsgRound2Batch byte = 10 // leader -> servers: opened masks + RLC probe; reply: combined share
+	// MsgWindowPublish seals one tumbling collection window on every server
+	// and fetches its share: the server applies its own DP noise exactly
+	// once, freezes the window, and replies (flags, ε, count, vec). See
+	// window.go; window IDs are wall-time derived (internal/window), not
+	// cluster leadership epochs.
+	MsgWindowPublish byte = 11 // leader -> servers: seal window; reply: noised share
 )
 
 // errTruncated reports malformed wire input.

@@ -87,7 +87,8 @@ func (h *Histogram) Snapshot() HistSnapshot {
 
 // HistSnapshot is an immutable copy of a histogram's buckets. Snapshots
 // merge associatively and commutatively (bucket-wise sums), so per-shard
-// or per-epoch snapshots can be combined in any grouping.
+// or per-window snapshots can be combined in any grouping, and subtract
+// (Delta) to carve a cumulative series into collection windows.
 type HistSnapshot struct {
 	Count  uint64
 	Sum    uint64
@@ -104,6 +105,36 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	copy(out.counts, s.counts)
 	for i, c := range o.counts {
 		out.counts[i] += c
+	}
+	return out
+}
+
+// Delta returns the observations present in s but not in prev — the
+// inverse of Merge for the common "cumulative series, periodic snapshot"
+// pattern: snapshot at each window boundary, Delta against the previous
+// boundary, and the result is exactly that window's distribution (same
+// quantile and mean semantics as any other snapshot). If s is not a
+// superset of prev (the histogram restarted), s is returned whole.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	if prev.Count == 0 {
+		return s
+	}
+	if s.Count < prev.Count || s.Sum < prev.Sum {
+		return s
+	}
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	if s.counts == nil {
+		return out
+	}
+	out.counts = make([]uint64, len(s.counts))
+	for i, c := range s.counts {
+		var p uint64
+		if i < len(prev.counts) {
+			p = prev.counts[i]
+		}
+		if c >= p {
+			out.counts[i] = c - p
+		}
 	}
 	return out
 }

@@ -204,7 +204,7 @@ func TestQuantileAccuracy(t *testing.T) {
 }
 
 // TestSnapshotMergeAssociative checks (a∪b)∪c == a∪(b∪c) bucket-wise,
-// the property that makes per-shard and per-epoch merging order-free.
+// the property that makes per-shard and per-window merging order-free.
 func TestSnapshotMergeAssociative(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	mk := func() HistSnapshot {

@@ -1,0 +1,86 @@
+package telemetry
+
+import "sync"
+
+// WindowView slices a registry's cumulative series into per-window deltas:
+// call Advance at each collection-window boundary and it returns what every
+// counter and histogram accumulated since the previous boundary. This is the
+// windowed companion to the always-cumulative /metrics view — the stage
+// histograms and counters keep their monotone semantics for Prometheus,
+// while window-oriented consumers (the window service's per-window ledger,
+// prio-load's interval lines) read bounded per-window series from the same
+// underlying metrics instead of double-instrumenting the hot path.
+//
+// Gauges are skipped: they are instantaneous readings, and a delta of two
+// gauge reads means nothing. Advance is safe for concurrent use with metric
+// writers; like Snapshot, a boundary taken mid-traffic can be off by the few
+// observations landing during the sweep.
+type WindowView struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	counters map[string]uint64
+	hists    map[string]HistSnapshot
+}
+
+// SeriesDelta is one series' change across a window. Exactly one of Counter
+// and Hist is meaningful, per IsHist.
+type SeriesDelta struct {
+	Counter uint64
+	Hist    HistSnapshot
+	IsHist  bool
+	// Scale converts Hist values to export units (1e-9 for durations).
+	Scale float64
+}
+
+// NewWindowView starts a view whose first Advance reports everything
+// accumulated so far (baseline zero).
+func (r *Registry) NewWindowView() *WindowView {
+	return &WindowView{
+		reg:      r,
+		counters: make(map[string]uint64),
+		hists:    make(map[string]HistSnapshot),
+	}
+}
+
+// Advance closes the current window: it returns each cumulative series'
+// delta since the previous Advance, keyed by name plus rendered labels, and
+// makes now the new baseline. A counter that went backwards (a restarted
+// subsystem re-registering) reports its current value whole.
+func (v *WindowView) Advance() map[string]SeriesDelta {
+	out := make(map[string]SeriesDelta)
+	if v == nil {
+		return out
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, fam := range v.reg.snapshotFamilies() {
+		for _, s := range fam.series {
+			key := fam.name + s.labels
+			switch fam.kind {
+			case kindCounter, kindCounterFunc:
+				var cur uint64
+				if fam.kind == kindCounter {
+					cur = s.c.Value()
+				} else {
+					cur = s.cf()
+				}
+				d := cur
+				if prev, ok := v.counters[key]; ok && cur >= prev {
+					d = cur - prev
+				}
+				v.counters[key] = cur
+				out[key] = SeriesDelta{Counter: d}
+			case kindHistogram:
+				cur := s.h.Snapshot()
+				out[key] = SeriesDelta{
+					Hist:   cur.Delta(v.hists[key]),
+					IsHist: true,
+					Scale:  s.h.scale,
+				}
+				v.hists[key] = cur
+			}
+		}
+	}
+	return out
+}

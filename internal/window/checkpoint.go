@@ -1,0 +1,349 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"prio/internal/core"
+	"prio/internal/field"
+)
+
+// Checkpoint file layout (all integers little-endian):
+//
+//	magic   [8]byte  "PRWCKPT1"
+//	version u32      1
+//	length  u32      payload byte count
+//	payload          marshalled Snapshot (see marshalSnapshot)
+//	crc     u32      CRC-32 (IEEE) over payload
+//
+// A write is atomic at the file level: the bytes go to a .tmp sibling,
+// fsync, rename over the final name, fsync the directory. A crash at any
+// point leaves either the complete new file or the previous one; a torn or
+// truncated file fails the length or CRC check on load and is skipped. The
+// store keeps the newest ckptKeep files so one corrupt snapshot (a bad
+// sector, a partial rename on a dying disk) still falls back a generation
+// instead of losing all accumulator state.
+const (
+	ckptMagic   = "PRWCKPT1"
+	ckptVersion = 1
+	ckptPrefix  = "ckpt-"
+	ckptKeep    = 2
+)
+
+// ErrCorrupt marks a checkpoint file that failed structural or CRC
+// validation. Load treats it as skippable, not fatal.
+var ErrCorrupt = errors.New("window: corrupt checkpoint")
+
+// Snapshot is everything a member must persist to survive a restart: the
+// accumulator state (all-time total plus every live window, sealed windows
+// already carrying their noise), the publish cursor, and the DP budget
+// ledger — restoring spent ε is what keeps a crash loop from silently
+// resetting the composition guarantee.
+type Snapshot[E any] struct {
+	LastPublished uint64
+	DPSpent       float64
+	Acc           core.AccState[E]
+}
+
+// Store manages the checkpoint files of one member in one directory.
+// Save/Load are free functions because they are generic over the field
+// (Go methods cannot introduce type parameters).
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	seq uint64 // sequence of the newest file written or found
+}
+
+// NewStore opens (creating if needed, mode 0700 — accumulator shares are
+// sensitive) the checkpoint directory and resumes the sequence numbering
+// after any existing files.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("window: empty checkpoint dir")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("window: checkpoint dir: %w", err)
+	}
+	st := &Store{dir: dir}
+	files, err := st.list()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(files); n > 0 {
+		st.seq = files[n-1].seq
+	}
+	return st, nil
+}
+
+// Dir returns the checkpoint directory.
+func (st *Store) Dir() string { return st.dir }
+
+type ckptFile struct {
+	name string
+	seq  uint64
+}
+
+// list returns the checkpoint files ascending by sequence.
+func (st *Store) list() ([]ckptFile, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ckptFile
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimPrefix(name, ckptPrefix), 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, ckptFile{name: name, seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// Save durably writes snap as the newest checkpoint and prunes old files
+// down to ckptKeep. It returns the file's byte size.
+func Save[Fd field.Field[E], E any](st *Store, f Fd, snap *Snapshot[E]) (int, error) {
+	payload := marshalSnapshot(f, snap)
+	buf := make([]byte, 0, len(ckptMagic)+12+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	name := fmt.Sprintf("%s%016x", ckptPrefix, st.seq)
+	tmp := filepath.Join(st.dir, name+".tmp")
+	final := filepath.Join(st.dir, name)
+	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fh.Write(buf); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(st.dir); err != nil {
+		return 0, err
+	}
+	st.pruneLocked()
+	return len(buf), nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// pruneLocked removes everything but the newest ckptKeep files (best
+// effort — a prune failure never fails the save that preceded it).
+func (st *Store) pruneLocked() {
+	files, err := st.list()
+	if err != nil {
+		return
+	}
+	for len(files) > ckptKeep {
+		os.Remove(filepath.Join(st.dir, files[0].name))
+		files = files[1:]
+	}
+}
+
+// LoadInfo reports what Load found.
+type LoadInfo struct {
+	File    string // basename of the snapshot loaded, "" when none usable
+	Skipped int    // corrupt, torn, or unreadable files skipped over
+}
+
+// Load returns the newest valid checkpoint, walking backwards past corrupt
+// files (counted in LoadInfo.Skipped). A missing or fully-corrupt store
+// returns (nil, info, nil): starting empty is the correct recovery for a
+// first boot, and the caller decides whether skipped > 0 deserves a loud
+// log line. k is the deployment's aggregate width; a snapshot for a
+// different protocol shape fails validation and is skipped too.
+func Load[Fd field.Field[E], E any](st *Store, f Fd, k int) (*Snapshot[E], LoadInfo, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	files, err := st.list()
+	if err != nil {
+		return nil, LoadInfo{}, err
+	}
+	var info LoadInfo
+	for i := len(files) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(filepath.Join(st.dir, files[i].name))
+		if err != nil {
+			info.Skipped++
+			continue
+		}
+		snap, err := unmarshalCheckpoint(f, k, b)
+		if err != nil {
+			info.Skipped++
+			continue
+		}
+		info.File = files[i].name
+		return snap, info, nil
+	}
+	return nil, info, nil
+}
+
+// marshalSnapshot serializes the payload section. Window order is already
+// deterministic (AccState sorts by ID).
+func marshalSnapshot[Fd field.Field[E], E any](f Fd, snap *Snapshot[E]) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, snap.LastPublished)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(snap.DPSpent))
+	b = binary.LittleEndian.AppendUint64(b, snap.Acc.TotalCount)
+	b = binary.LittleEndian.AppendUint64(b, snap.Acc.Spilled)
+	b = field.AppendVec(f, b, snap.Acc.Total)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.Acc.Windows)))
+	for _, ws := range snap.Acc.Windows {
+		b = binary.LittleEndian.AppendUint64(b, ws.ID)
+		var flags byte
+		if ws.Sealed {
+			flags |= 1
+		}
+		if ws.Noised {
+			flags |= 2
+		}
+		b = append(b, flags)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ws.Eps))
+		b = binary.LittleEndian.AppendUint64(b, ws.Count)
+		b = field.AppendVec(f, b, ws.Vec)
+	}
+	return b
+}
+
+// ckptReader is a sticky-error cursor over the payload.
+type ckptReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) fail() { r.err = ErrCorrupt }
+
+func (r *ckptReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *ckptReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *ckptReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func readCkptVec[Fd field.Field[E], E any](r *ckptReader, f Fd, n int) []E {
+	if r.err != nil {
+		return nil
+	}
+	v, used, err := field.ReadVec(f, r.b[r.off:], n)
+	if err != nil {
+		r.fail()
+		return nil
+	}
+	r.off += used
+	return v
+}
+
+// unmarshalCheckpoint validates the envelope (magic, version, length, CRC)
+// and decodes the payload.
+func unmarshalCheckpoint[Fd field.Field[E], E any](f Fd, k int, b []byte) (*Snapshot[E], error) {
+	head := len(ckptMagic) + 8 // magic + version + length
+	if len(b) < head+4 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(b[len(ckptMagic):]) != ckptVersion {
+		return nil, fmt.Errorf("%w: unknown version", ErrCorrupt)
+	}
+	plen := int(binary.LittleEndian.Uint32(b[len(ckptMagic)+4:]))
+	if plen < 0 || len(b) != head+plen+4 {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	payload := b[head : head+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[head+plen:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r := &ckptReader{b: payload}
+	snap := &Snapshot[E]{}
+	snap.LastPublished = r.u64()
+	snap.DPSpent = math.Float64frombits(r.u64())
+	snap.Acc.TotalCount = r.u64()
+	snap.Acc.Spilled = r.u64()
+	snap.Acc.Total = readCkptVec(r, f, k)
+	nw := int(r.u32())
+	if r.err != nil || nw < 0 || nw > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < nw; i++ {
+		ws := core.WindowState[E]{}
+		ws.ID = r.u64()
+		flags := r.u8()
+		ws.Sealed = flags&1 != 0
+		ws.Noised = flags&2 != 0
+		ws.Eps = math.Float64frombits(r.u64())
+		ws.Count = r.u64()
+		ws.Vec = readCkptVec(r, f, k)
+		if r.err != nil || ws.ID == 0 {
+			return nil, ErrCorrupt
+		}
+		snap.Acc.Windows = append(snap.Acc.Windows, ws)
+	}
+	if r.err != nil || r.off != len(payload) {
+		return nil, ErrCorrupt
+	}
+	return snap, nil
+}

@@ -1,0 +1,20 @@
+// Package window turns the run-until-asked Prio accumulator into a
+// long-running aggregation service with tumbling collection windows:
+// submissions land in the window open at their commit, each window seals
+// with this server's own differential-privacy noise at close (internal/dp,
+// Section 7 of the paper), and the sitting leader publishes the noised
+// per-window aggregate over the existing transport (core.MsgWindowPublish).
+//
+// Durability comes from the checkpoint layer (checkpoint.go): periodic
+// atomic-rename snapshots of the sealed and in-progress window accumulators
+// — versioned, CRC-protected, fsync'd — so a kill -9 and restart replays
+// from the last checkpoint and loses at most the in-flight window. Torn or
+// truncated files fail the CRC and are skipped, falling back to the
+// previous snapshot.
+//
+// Terminology: a *window* is a wall-clock collection interval (WindowID =
+// quantized UnixNano). It is deliberately not called an epoch — in this
+// codebase an epoch is a cluster leadership term (internal/cluster), a
+// counter with no relation to time or to aggregation. See docs/WINDOWS.md
+// and the terminology note in docs/CLUSTER.md.
+package window

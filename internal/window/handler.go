@@ -1,0 +1,47 @@
+package window
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// aggregatesView is the /aggregates response shape.
+type aggregatesView struct {
+	Width         string   `json:"width"`
+	Current       uint64   `json:"current_window"`
+	LastPublished uint64   `json:"last_published"`
+	Recovered     bool     `json:"recovered"`
+	RecoveredFrom string   `json:"recovered_from,omitempty"`
+	DPEpsSpent    float64  `json:"dp_epsilon_spent"`
+	DPEpsCap      *float64 `json:"dp_epsilon_cap,omitempty"`
+	Windows       []Record `json:"windows"`
+}
+
+// AggregatesHandler serves the operator view of published windows: newest
+// first, with the publish cursor, recovery provenance, and the DP ledger.
+func (s *Service[Fd, E]) AggregatesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		hist := s.History()
+		// Newest first reads better for operators tailing releases.
+		for i, j := 0, len(hist)-1; i < j; i, j = i+1, j-1 {
+			hist[i], hist[j] = hist[j], hist[i]
+		}
+		recovered, info := s.Recovered()
+		view := aggregatesView{
+			Width:         s.cfg.Width.String(),
+			Current:       s.Current(),
+			LastPublished: s.LastPublished(),
+			Recovered:     recovered,
+			RecoveredFrom: info.File,
+			DPEpsSpent:    s.cfg.Budget.Spent(),
+			Windows:       hist,
+		}
+		if cap := s.cfg.Budget.Cap(); s.cfg.Budget != nil {
+			view.DPEpsCap = &cap
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(view)
+	})
+}

@@ -1,0 +1,53 @@
+package window
+
+import (
+	"prio/internal/field"
+	"prio/internal/telemetry"
+)
+
+// metricsSet is the prio_window_* series. Catalogued in
+// docs/OBSERVABILITY.md — keep the two in sync.
+type metricsSet struct {
+	published    *telemetry.Counter
+	republished  *telemetry.Counter
+	inconsistent *telemetry.Counter
+	skipped      *telemetry.Counter
+	pubFailures  *telemetry.Counter
+	pubDur       *telemetry.DurationHistogram
+
+	ckpts        *telemetry.Counter
+	ckptFailures *telemetry.Counter
+	ckptBytes    *telemetry.Gauge
+	ckptDur      *telemetry.DurationHistogram
+
+	lastCount *telemetry.Gauge
+}
+
+func newMetrics[Fd field.Field[E], E any](r *telemetry.Registry, s *Service[Fd, E]) *metricsSet {
+	m := &metricsSet{
+		published:    r.Counter("prio_window_published_total", "Collection windows this leader has published."),
+		republished:  r.Counter("prio_window_republished_total", "Published windows that replayed already-sealed shares (post-failover catch-up)."),
+		inconsistent: r.Counter("prio_window_inconsistent_total", "Published windows whose per-server accepted counts disagreed."),
+		skipped:      r.Counter("prio_window_skipped_total", "Closed windows dropped past the catch-up horizon instead of published."),
+		pubFailures:  r.Counter("prio_window_publish_failures_total", "Window publish attempts that failed (retried at the next boundary)."),
+		pubDur:       r.Duration("prio_window_publish_seconds", "Latency of one window publish round across the roster."),
+		ckpts:        r.Counter("prio_window_checkpoints_total", "Durable checkpoints written."),
+		ckptFailures: r.Counter("prio_window_checkpoint_failures_total", "Checkpoint writes that failed."),
+		ckptBytes:    r.Gauge("prio_window_checkpoint_bytes", "Size of the most recent checkpoint file."),
+		ckptDur:      r.Duration("prio_window_checkpoint_seconds", "Latency of one durable checkpoint write (marshal, fsync, rename)."),
+		lastCount:    r.Gauge("prio_window_last_count", "Accepted submissions in the most recently published window (server 0's count)."),
+	}
+	r.GaugeFunc("prio_window_current", "Collection window open right now.", func() float64 {
+		return float64(s.Current())
+	})
+	r.GaugeFunc("prio_window_last_published", "Newest window this member has published.", func() float64 {
+		return float64(s.LastPublished())
+	})
+	r.GaugeFunc("prio_window_spilled_total", "Accepted shares that arrived for a sealed window and rolled forward.", func() float64 {
+		return float64(s.cfg.Server.WindowSpills())
+	})
+	r.GaugeFunc("prio_window_dp_epsilon_spent", "Cumulative DP epsilon this member has spent sealing windows.", func() float64 {
+		return s.cfg.Budget.Spent()
+	})
+	return m
+}
