@@ -4,9 +4,11 @@
 // submissions locally, and uploads them to the leader over one persistent
 // streamed connection — -n submissions pipeline on that single stream with
 // asynchronous acks, instead of paying a round-trip (or worse, a dial) per
-// submission. The value syntax depends on the scheme: a decimal integer for
-// sums, a comma-separated 0/1 vector for surveys, "x1,x2,...;y" for
-// regression.
+// submission. Shed acks (transient server backpressure) and stream failures
+// are retried up to -max-attempts rather than reported as loss; the printed
+// ledger separates those retries from terminal outcomes. The value syntax
+// depends on the scheme: a decimal integer for sums, a comma-separated 0/1
+// vector for surveys, "x1,x2,...;y" for regression.
 //
 //	prio-client -peers localhost:7000,localhost:7001,localhost:7002 \
 //	    -scheme sum8 -value 17 -n 100
@@ -25,17 +27,19 @@ import (
 
 	"prio"
 	"prio/internal/cli"
+	"prio/internal/ingest"
 	"prio/internal/transport"
 )
 
 var (
-	peersFlag  = flag.String("peers", "", "comma-separated server addresses in index order")
-	schemeFlag = flag.String("scheme", "sum8", "statistic spec (must match the servers)")
-	modeFlag   = flag.String("mode", "prio", "validation mode (must match the servers)")
-	value      = flag.String("value", "", "private value to submit")
-	count      = flag.Int("n", 1, "submit the value this many times over one stream")
-	useTLS     = flag.Bool("tls", true, "dial the servers over TLS")
-	tlsCA      = flag.String("tls-ca", "", "PEM bundle to authenticate the servers against")
+	peersFlag   = flag.String("peers", "", "comma-separated server addresses in index order")
+	schemeFlag  = flag.String("scheme", "sum8", "statistic spec (must match the servers)")
+	modeFlag    = flag.String("mode", "prio", "validation mode (must match the servers)")
+	value       = flag.String("value", "", "private value to submit")
+	count       = flag.Int("n", 1, "submit the value this many times over one stream")
+	maxAttempts = flag.Int("max-attempts", 4, "delivery attempts per submission before abandoning it")
+	useTLS      = flag.Bool("tls", true, "dial the servers over TLS")
+	tlsCA       = flag.String("tls-ca", "", "PEM bundle to authenticate the servers against")
 )
 
 func main() {
@@ -81,7 +85,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	stream, err := prio.OpenStream(peers[0], prio.SubmitterConfig{TLS: tlsCfg})
+	// The failover layer turns shed acks and stream deaths into retries, so
+	// the ledger below reports only terminal outcomes — a shed under
+	// transient backpressure is re-submitted, not counted as loss.
+	leader := peers[0]
+	stream, err := ingest.NewFailoverSubmitter(ingest.FailoverConfig{
+		Dial: func(onAck func(ingest.Ack)) (*ingest.StreamSubmitter, error) {
+			return ingest.Dial(leader, ingest.SubmitterConfig{TLS: tlsCfg, OnAck: onAck})
+		},
+		MaxAttempts: *maxAttempts,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,14 +104,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := stream.Submit(sub); err != nil {
+		if err := stream.Submit(sub); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := stream.Wait(); err != nil {
-		log.Fatal(err)
-	}
+	stream.Wait()
 	st := stream.Stats()
-	fmt.Printf("streamed %d encrypted share bundle(s) of %q to %s: %d accepted, %d rejected, %d shed\n",
-		st.Submitted, *value, peers[0], st.Accepted, st.Rejected, st.Shed)
+	fmt.Printf("streamed %d encrypted share bundle(s) of %q to %s: %d accepted, %d rejected, %d abandoned\n",
+		st.Submitted, *value, leader, st.Accepted, st.Rejected, st.Abandoned)
+	if st.ShedRetried+st.FailedRetried+st.Redials > 0 {
+		fmt.Printf("retries: %d shed, %d failed, %d redials\n",
+			st.ShedRetried, st.FailedRetried, st.Redials)
+	}
 }

@@ -13,6 +13,12 @@
 //     saturates, then the credit window makes queueing visible here rather
 //     than as server memory.
 //
+// Every stream rides the failover layer, so a shed ack (transient
+// backpressure) or a failed ack is retried up to -max-attempts rather than
+// booked as terminal loss; the printed ledger separates those retries
+// (shed_retried=, failed_retried=) from real outcomes and closes as
+// submitted == accepted + rejected + abandoned.
+//
 // Example against a local three-server deployment:
 //
 //	prio-load -peers localhost:7000,localhost:7001,localhost:7002 \
@@ -35,6 +41,7 @@ import (
 
 	"prio"
 	"prio/internal/cli"
+	"prio/internal/ingest"
 	"prio/internal/telemetry"
 	"prio/internal/transport"
 )
@@ -52,11 +59,15 @@ var (
 	tlsCA      = flag.String("tls-ca", "", "PEM bundle to authenticate the servers against")
 )
 
-// collector accumulates ack outcomes and latencies across all streams.
+// collector accumulates final ack outcomes and latencies across all streams.
 // Latencies land in a bounded-memory log-linear histogram (the same one
 // the servers export), so a long high-rate run costs 15 KB instead of one
 // slice entry per ack, and reported percentiles are upper bounds within
 // ~3.1% of exact.
+//
+// Only terminal decisions reach the collector: the failover layer retries
+// shed and failed acks internally, so the shed/failed columns here count
+// abandoned submissions, not transient backpressure.
 type collector struct {
 	latencies *telemetry.DurationHistogram
 
@@ -78,6 +89,44 @@ func (c *collector) onAck(a prio.Ack) {
 		atomic.AddUint64(&c.failed, 1)
 	}
 	c.latencies.Observe(a.Latency)
+}
+
+// buildPool fetches every server's key and pre-builds the recycled
+// submission pool the generators cycle through.
+func buildPool(addrs []string, scheme prio.Scheme, mode prio.Mode, tlsCfg *tls.Config) []*prio.Submission {
+	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: len(addrs), Mode: mode, Seal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys := make([]*prio.ServerPublicKey, len(addrs))
+	for i, addr := range addrs {
+		k, err := prio.FetchPublicKeyTLS(addr, tlsCfg)
+		if err != nil {
+			log.Fatalf("prio-load: fetching key from %s: %v", addr, err)
+		}
+		keys[i] = k
+	}
+	client, err := prio.NewClient(pro, keys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var enc []uint64
+	if *value != "" {
+		enc, err = cli.EncodeValue(scheme, *value)
+	} else {
+		enc, err = cli.DefaultEncoding(scheme)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := make([]*prio.Submission, *prebuild)
+	for i := range pool {
+		pool[i], err = client.BuildSubmission(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return pool
 }
 
 func main() {
@@ -106,46 +155,36 @@ func main() {
 		return
 	}
 	peers := strings.Split(*peersFlag, ",")
-	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: len(peers), Mode: mode, Seal: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	keys := make([]*prio.ServerPublicKey, len(peers))
-	for i, addr := range peers {
-		k, err := prio.FetchPublicKeyTLS(addr, tlsCfg)
-		if err != nil {
-			log.Fatalf("prio-load: fetching key from %s: %v", addr, err)
-		}
-		keys[i] = k
-	}
-	client, err := prio.NewClient(pro, keys, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var enc []uint64
-	if *value != "" {
-		enc, err = cli.EncodeValue(scheme, *value)
-	} else {
-		enc, err = cli.DefaultEncoding(scheme)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
+	pool := buildPool(peers, scheme, mode, tlsCfg)
 
-	pool := make([]*prio.Submission, *prebuild)
-	for i := range pool {
-		pool[i], err = client.BuildSubmission(enc)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Fixed-address dial: plain mode always re-targets the same leader, but
+	// still rides the failover layer so a shed ack or a dropped connection
+	// costs a retry, not a ledger entry.
+	leader := peers[0]
+	dial := func(onAck func(ingest.Ack)) (*ingest.StreamSubmitter, error) {
+		return ingest.Dial(leader, ingest.SubmitterConfig{TLS: tlsCfg, OnAck: onAck})
 	}
+	runLoad(dial, pool, fmt.Sprintf("%d streams to %s, %s scheme", *streams, leader, scheme.Name()))
+}
 
+// runLoad drives the generators over failover-aware streams and prints the
+// closed loss ledger. dial opens one stream to the (possibly re-resolved)
+// leader; the failover layer retries shed and failed acks up to
+// -max-attempts, so the printed shed/failed columns report real loss rather
+// than transient backpressure, and retries appear on their own
+// shed_retried=/failed_retried= line.
+func runLoad(dial func(onAck func(ingest.Ack)) (*ingest.StreamSubmitter, error), pool []*prio.Submission, label string) {
 	col := &collector{latencies: &telemetry.DurationHistogram{H: telemetry.NewHistogram()}}
-	subs := make([]*prio.StreamSubmitter, *streams)
+	subs := make([]*ingest.FailoverSubmitter, *streams)
+	var err error
 	for i := range subs {
-		subs[i], err = prio.OpenStream(peers[0], prio.SubmitterConfig{TLS: tlsCfg, OnAck: col.onAck})
+		subs[i], err = ingest.NewFailoverSubmitter(ingest.FailoverConfig{
+			Dial:        dial,
+			MaxAttempts: *maxAttempts,
+			OnFinal:     func(a ingest.Ack) { col.onAck(a) },
+		})
 		if err != nil {
-			log.Fatalf("prio-load: opening stream %d: %v", i, err)
+			log.Fatalf("prio-load: stream %d: %v", i, err)
 		}
 		defer subs[i].Close()
 	}
@@ -153,15 +192,13 @@ func main() {
 	if *rate > 0 {
 		discipline = fmt.Sprintf("open @ %.0f subs/s", *rate)
 	}
-	log.Printf("prio-load: %d streams (%d credits each), %s loop, %s scheme, %v",
-		*streams, subs[0].Credits(), discipline, scheme.Name(), *duration)
+	log.Printf("prio-load: %s, %s loop, %v", label, discipline, *duration)
 
 	stopLedger := startWindowLedger(col)
 
 	// Generate. Each stream has one generator goroutine; the open loop adds
 	// a token feed shared by all of them.
 	deadline := time.Now().Add(*duration)
-	var submitted uint64
 	var overrun uint64 // open loop: tokens dropped because every stream was window-blocked
 	var tokens chan struct{}
 	if *rate > 0 {
@@ -188,7 +225,7 @@ func main() {
 	start := time.Now()
 	for i, s := range subs {
 		wg.Add(1)
-		go func(i int, s *prio.StreamSubmitter) {
+		go func(i int, s *ingest.FailoverSubmitter) {
 			defer wg.Done()
 			n := i // stagger the pool cursor across streams
 			for time.Now().Before(deadline) {
@@ -197,30 +234,45 @@ func main() {
 						return
 					}
 				}
-				if _, err := s.Submit(pool[n%len(pool)]); err != nil {
-					return // stream died; its stats still count
+				if err := s.Submit(pool[n%len(pool)]); err != nil {
+					log.Printf("prio-load: stream %d gave up: %v", i, err)
+					return
 				}
-				atomic.AddUint64(&submitted, 1)
 				n++
 			}
 		}(i, s)
 	}
 	wg.Wait()
+	var total ingest.FailoverStats
 	for _, s := range subs {
-		if err := s.Wait(); err != nil {
-			log.Printf("prio-load: stream drain: %v", err)
-		}
+		s.Wait()
+		st := s.Stats()
+		total.Submitted += st.Submitted
+		total.Accepted += st.Accepted
+		total.Rejected += st.Rejected
+		total.ShedRetried += st.ShedRetried
+		total.FailedRetried += st.FailedRetried
+		total.Failovers += st.Failovers
+		total.Redials += st.Redials
+		total.Abandoned += st.Abandoned
 	}
 	elapsed := time.Since(start)
 	stopLedger()
 
 	lat := col.latencies.Snapshot()
-	acked := lat.Count
-	fmt.Printf("submitted=%d acked=%d accepted=%d rejected=%d shed=%d failed=%d\n",
-		atomic.LoadUint64(&submitted), acked,
-		atomic.LoadUint64(&col.accepted), atomic.LoadUint64(&col.rejected),
-		atomic.LoadUint64(&col.shed), atomic.LoadUint64(&col.failed))
-	fmt.Printf("throughput=%.1f subs/s over %.2fs\n", float64(acked)/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Printf("submitted=%d acked=%d accepted=%d rejected=%d shed=0 failed=%d\n",
+		total.Submitted, total.Accepted+total.Rejected,
+		total.Accepted, total.Rejected, total.Abandoned)
+	fmt.Printf("shed_retried=%d failed_retried=%d failovers=%d redials=%d abandoned=%d\n",
+		total.ShedRetried, total.FailedRetried, total.Failovers, total.Redials, total.Abandoned)
+	if total.Submitted == total.Accepted+total.Rejected+total.Abandoned {
+		fmt.Println("ledger=closed")
+	} else {
+		fmt.Printf("ledger=OPEN (submitted=%d != accepted+rejected+abandoned=%d)\n",
+			total.Submitted, total.Accepted+total.Rejected+total.Abandoned)
+	}
+	fmt.Printf("throughput=%.1f subs/s over %.2fs\n",
+		float64(total.Accepted+total.Rejected)/elapsed.Seconds(), elapsed.Seconds())
 	fmt.Printf("ack latency p50=%v p95=%v p99=%v\n",
 		time.Duration(lat.Quantile(0.50)).Round(10*time.Microsecond),
 		time.Duration(lat.Quantile(0.95)).Round(10*time.Microsecond),

@@ -5,64 +5,27 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"prio"
-	"prio/internal/cli"
 	"prio/internal/cluster"
 	"prio/internal/ingest"
-	"prio/internal/telemetry"
 )
 
 var (
 	rosterFlag  = flag.String("roster", "", "roster file or comma-separated member addresses; enables failover mode (streams re-target the leader)")
-	maxAttempts = flag.Int("max-attempts", 6, "delivery attempts per submission before abandoning it (roster mode)")
+	maxAttempts = flag.Int("max-attempts", 6, "delivery attempts per submission before abandoning it")
 )
 
 // runRoster is the failover-aware load generator: it resolves the leader
-// through the cluster roster, streams through FailoverSubmitters that
-// re-dial on leader death and retry shed or failed submissions, and reports
-// a closed loss ledger — every submission ends accepted, rejected, or
-// explicitly abandoned.
+// through the cluster roster and feeds runLoad a dial that re-resolves on
+// every call, so after a failover the fresh stream lands on the successor.
 func runRoster(scheme prio.Scheme, mode prio.Mode, tlsCfg *tls.Config) {
 	ros, err := cluster.LoadOrParseRoster(*rosterFlag)
 	if err != nil {
 		log.Fatalf("prio-load: bad -roster: %v", err)
 	}
-	pro, err := prio.NewProtocol(prio.Config{Scheme: scheme, Servers: ros.N(), Mode: mode, Seal: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	keys := make([]*prio.ServerPublicKey, ros.N())
-	for i, addr := range ros.Addrs {
-		k, err := prio.FetchPublicKeyTLS(addr, tlsCfg)
-		if err != nil {
-			log.Fatalf("prio-load: fetching key from %s: %v", addr, err)
-		}
-		keys[i] = k
-	}
-	client, err := prio.NewClient(pro, keys, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var enc []uint64
-	if *value != "" {
-		enc, err = cli.EncodeValue(scheme, *value)
-	} else {
-		enc, err = cli.DefaultEncoding(scheme)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	pool := make([]*prio.Submission, *prebuild)
-	for i := range pool {
-		pool[i], err = client.BuildSubmission(enc)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
+	pool := buildPool(ros.Addrs, scheme, mode, tlsCfg)
 
 	// dialLeader re-resolves on every call: after a failover the roster
 	// answers with the successor and the fresh stream lands there.
@@ -73,108 +36,6 @@ func runRoster(scheme prio.Scheme, mode prio.Mode, tlsCfg *tls.Config) {
 		}
 		return ingest.Dial(addr, ingest.SubmitterConfig{TLS: tlsCfg, OnAck: onAck})
 	}
-
-	col := &collector{latencies: &telemetry.DurationHistogram{H: telemetry.NewHistogram()}}
-	subs := make([]*ingest.FailoverSubmitter, *streams)
-	for i := range subs {
-		subs[i], err = ingest.NewFailoverSubmitter(ingest.FailoverConfig{
-			Dial:        dialLeader,
-			MaxAttempts: *maxAttempts,
-			OnFinal:     func(a ingest.Ack) { col.onAck(a) },
-		})
-		if err != nil {
-			log.Fatalf("prio-load: stream %d: %v", i, err)
-		}
-		defer subs[i].Close()
-	}
-	discipline := "closed"
-	if *rate > 0 {
-		discipline = fmt.Sprintf("open @ %.0f subs/s", *rate)
-	}
-	log.Printf("prio-load: %d failover streams across %d members, %s loop, %s scheme, %v",
-		*streams, ros.N(), discipline, scheme.Name(), *duration)
-
-	stopLedger := startWindowLedger(col)
-	deadline := time.Now().Add(*duration)
-	var tokens chan struct{}
-	var overrun uint64
-	if *rate > 0 {
-		tokens = make(chan struct{}, 1024)
-		interval := time.Duration(float64(time.Second) / *rate)
-		if interval <= 0 {
-			interval = time.Microsecond
-		}
-		go func() {
-			tick := time.NewTicker(interval)
-			defer tick.Stop()
-			for time.Now().Before(deadline) {
-				<-tick.C
-				select {
-				case tokens <- struct{}{}:
-				default:
-					atomic.AddUint64(&overrun, 1)
-				}
-			}
-			close(tokens)
-		}()
-	}
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i, s := range subs {
-		wg.Add(1)
-		go func(i int, s *ingest.FailoverSubmitter) {
-			defer wg.Done()
-			n := i
-			for time.Now().Before(deadline) {
-				if tokens != nil {
-					if _, ok := <-tokens; !ok {
-						return
-					}
-				}
-				if err := s.Submit(pool[n%len(pool)]); err != nil {
-					log.Printf("prio-load: stream %d gave up: %v", i, err)
-					return
-				}
-				n++
-			}
-		}(i, s)
-	}
-	wg.Wait()
-	var total ingest.FailoverStats
-	for _, s := range subs {
-		s.Wait()
-		st := s.Stats()
-		total.Submitted += st.Submitted
-		total.Accepted += st.Accepted
-		total.Rejected += st.Rejected
-		total.ShedRetried += st.ShedRetried
-		total.FailedRetried += st.FailedRetried
-		total.Failovers += st.Failovers
-		total.Redials += st.Redials
-		total.Abandoned += st.Abandoned
-	}
-	elapsed := time.Since(start)
-	stopLedger()
-
-	lat := col.latencies.Snapshot()
-	fmt.Printf("submitted=%d acked=%d accepted=%d rejected=%d shed=0 failed=%d\n",
-		total.Submitted, total.Accepted+total.Rejected,
-		total.Accepted, total.Rejected, total.Abandoned)
-	fmt.Printf("shed_retried=%d failed_retried=%d failovers=%d redials=%d abandoned=%d\n",
-		total.ShedRetried, total.FailedRetried, total.Failovers, total.Redials, total.Abandoned)
-	if total.Submitted == total.Accepted+total.Rejected+total.Abandoned {
-		fmt.Println("ledger=closed")
-	} else {
-		fmt.Printf("ledger=OPEN (submitted=%d != accepted+rejected+abandoned=%d)\n",
-			total.Submitted, total.Accepted+total.Rejected+total.Abandoned)
-	}
-	fmt.Printf("throughput=%.1f subs/s over %.2fs\n",
-		float64(total.Accepted+total.Rejected)/elapsed.Seconds(), elapsed.Seconds())
-	fmt.Printf("ack latency p50=%v p95=%v p99=%v\n",
-		time.Duration(lat.Quantile(0.50)).Round(10*time.Microsecond),
-		time.Duration(lat.Quantile(0.95)).Round(10*time.Microsecond),
-		time.Duration(lat.Quantile(0.99)).Round(10*time.Microsecond))
-	if ov := atomic.LoadUint64(&overrun); ov > 0 {
-		fmt.Printf("open-loop overrun: %d tokens dropped (deployment slower than -rate)\n", ov)
-	}
+	runLoad(dialLeader, pool, fmt.Sprintf("%d failover streams across %d members, %s scheme",
+		*streams, ros.N(), scheme.Name()))
 }

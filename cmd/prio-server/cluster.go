@@ -132,27 +132,34 @@ func runCluster(scheme prio.Scheme, mode prio.Mode, serverTLS, clientTLS *tls.Co
 	}
 	defer ln.Close()
 	ing := ingest.NewServer(ld, ingest.Config{
-		Credits:    *ingestCredits,
-		QueueDepth: *ingestQueue,
-		Registry:   telemetry.Default,
-		Tracer:     tracer,
-		Gate:       gate,
+		Credits:        *ingestCredits,
+		QueueDepth:     *ingestQueue,
+		DynamicCredits: *ingestDynamic,
+		Registry:       telemetry.Default,
+		Tracer:         tracer,
+		Gate:           gate,
 	})
 	defer ing.Close()
 	ln.OnStream(ing.Handler())
 	ld.ingest = ing
 
-	// The verification stack every member keeps warm: peers on re-dialing
-	// coalesced connections (lazy, so boot order does not matter), a leader
+	// The verification stack every member keeps warm: peers on lazily
+	// dialed, re-dialing streamed connections (boot order does not matter,
+	// and a restarted member is picked back up on the next call), a leader
 	// namespace of our own index, and a pipeline with in-place batch retry
-	// for rounds interrupted by a peer restart.
+	// for rounds interrupted by a peer restart. -legacy-rpc falls back to
+	// coalesced request/response connections.
 	peers := make([]transport.Peer, ros.N())
 	for j, addr := range ros.Addrs {
 		if j == self {
 			peers[j] = &transport.LoopbackPeer{Handler: srv.Handler()}
 			continue
 		}
-		peers[j] = transport.NewCoalescer(transport.NewRedialPeer(addr, clientTLS))
+		if *legacyRPC {
+			peers[j] = transport.NewCoalescer(transport.NewRedialPeer(addr, clientTLS))
+		} else {
+			peers[j] = transport.NewStreamPeer(addr, clientTLS)
+		}
 	}
 	leader, err := core.NewLeader(srv, peers)
 	if err != nil {

@@ -56,6 +56,8 @@ var (
 	queueDepth    = flag.Int("queue-depth", 0, "pipeline submission queue capacity (leader; 0 = 4 batches per shard)")
 	ingestCredits = flag.Int("ingest-credits", ingest.DefaultCredits, "per-stream credit window for streamed submissions (leader)")
 	ingestQueue   = flag.Int("ingest-queue", ingest.DefaultQueueDepth, "intake queue capacity buffering streamed submissions for the pipeline (leader)")
+	ingestDynamic = flag.Bool("ingest-dynamic", true, "retune per-stream credit windows from intake-queue occupancy (leader)")
+	legacyRPC     = flag.Bool("legacy-rpc", false, "drive verification rounds over request/response connections instead of the streamed rounds subprotocol")
 	publishEvery  = flag.Duration("publish-every", 30*time.Second, "aggregate publication interval (leader)")
 	once          = flag.Bool("once", false, "leader: publish once after the first interval and exit (for scripting)")
 	useTLS        = flag.Bool("tls", true, "serve and dial TLS (self-signed unless -tls-cert/-tls-key)")
@@ -171,17 +173,23 @@ func main() {
 	}
 	defer ln.Close()
 	ing := ingest.NewServer(ld, ingest.Config{
-		Credits:    *ingestCredits,
-		QueueDepth: *ingestQueue,
-		Registry:   telemetry.Default,
-		Tracer:     tracer,
+		Credits:        *ingestCredits,
+		QueueDepth:     *ingestQueue,
+		DynamicCredits: *ingestDynamic,
+		Registry:       telemetry.Default,
+		Tracer:         tracer,
 	})
 	defer ing.Close()
 	ln.OnStream(ing.Handler())
 	ld.ingest = ing
 
-	time.Sleep(500 * time.Millisecond) // let peers come up
-	leader, err := prio.ConnectLeaderTLS(srv, peers, clientTLS)
+	connect := prio.ConnectLeaderTLS
+	if *legacyRPC {
+		// The streamed peers dial lazily, so the sleep only matters here.
+		time.Sleep(500 * time.Millisecond) // let peers come up
+		connect = prio.ConnectLeaderLegacyTLS
+	}
+	leader, err := connect(srv, peers, clientTLS)
 	if err != nil {
 		cli.Fatal("connecting to peers", "err", err)
 	}

@@ -32,16 +32,36 @@ type Submission struct {
 }
 
 // Marshal serializes the submission for the client-to-leader channel.
-func (s *Submission) Marshal() []byte {
-	w := &wbuf{}
+func (s *Submission) Marshal() []byte { return s.AppendBinary(nil) }
+
+// AppendBinary appends the wire form to b and returns the result, letting a
+// caller with a recycled buffer (the ingest submitter's pooled frame
+// scratch) serialize without a fresh allocation per submission.
+func (s *Submission) AppendBinary(b []byte) []byte {
+	w := wbuf{b: b}
 	w.u32(uint32(len(s.Bundles)))
-	for _, b := range s.Bundles {
-		w.blob(b)
+	for _, bundle := range s.Bundles {
+		w.blob(bundle)
 	}
 	return w.b
 }
 
-// UnmarshalSubmission parses a client upload.
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Submission) MarshalBinary() ([]byte, error) { return s.Marshal(), nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Like
+// UnmarshalSubmission, the decoded Bundles alias data — the caller must not
+// recycle the input while the submission is live.
+func (s *Submission) UnmarshalBinary(data []byte) error {
+	sub, err := UnmarshalSubmission(data)
+	if err != nil {
+		return err
+	}
+	s.Bundles = sub.Bundles
+	return nil
+}
+
+// UnmarshalSubmission parses a client upload. The returned Bundles alias b.
 func UnmarshalSubmission(b []byte) (*Submission, error) {
 	r := &rbuf{b: b}
 	n := int(r.u32())

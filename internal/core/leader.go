@@ -281,10 +281,21 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 		_, _ = l.broadcast(MsgFinish, l.same(fw.b)) // best effort
 	}()
 
-	// Round 1: relay each server its bundles.
+	// Round 1: relay each server its bundles. Requests are built in pooled
+	// arena buffers sized exactly up front, so the steady state allocates
+	// nothing; broadcast waits for every peer before returning (even on
+	// error), which is what makes freeing the arenas afterwards safe.
+	// Responses are never pooled — a Coalescer hands out subslices of one
+	// envelope, so their lifetimes are not ours to manage.
 	reqs := make([][]byte, p.Cfg.Servers)
+	arenas := make([]*transport.Buf, p.Cfg.Servers)
+	var w wbuf
 	for i := 0; i < p.Cfg.Servers; i++ {
-		w := &wbuf{}
+		hint := 4 + 8 + 4 + 8
+		for _, sub := range subs {
+			hint += 4 + len(sub.Bundles[i])
+		}
+		w.grab(hint)
 		w.u32(challID)
 		w.u64(batchID)
 		w.u32(uint32(count))
@@ -292,10 +303,13 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 			w.blob(sub.Bundles[i])
 		}
 		w.u64(wid)
-		reqs[i] = w.b
+		reqs[i], arenas[i] = w.seal()
 	}
 	t0 := l.m.start()
 	r1resps, err := l.broadcast(MsgRound1, reqs)
+	for _, a := range arenas {
+		a.Free()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -369,14 +383,17 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 	var snipOK []bool
 	t0 = l.m.start()
 	if p.Cfg.DisableBatchVerify {
-		w := &wbuf{}
+		var w wbuf
+		w.grab(4 + 8 + count*(reps+1)*16)
 		w.u32(challID)
 		w.u64(batchID)
 		for j := 0; j < count; j++ {
-			wvec(w, f, opened[j].D)
-			wvec(w, f, opened[j].E)
+			wvec(&w, f, opened[j].D)
+			wvec(&w, f, opened[j].E)
 		}
-		r2resps, err := l.broadcast(MsgRound2, l.same(w.b))
+		req, arena := w.seal()
+		r2resps, err := l.broadcast(MsgRound2, l.same(req))
+		arena.Free()
 		if err != nil {
 			return nil, err
 		}
@@ -420,15 +437,18 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 			if round > 64 {
 				return nil, errors.New("core: MPC did not converge")
 			}
-			w := &wbuf{}
+			var w wbuf
+			w.grab(4 + 8 + count*4)
 			w.u32(challID)
 			w.u64(batchID)
 			for j := 0; j < count; j++ {
 				w.u32(uint32(len(mpcOpened[j].D)))
-				wvec(w, f, mpcOpened[j].D)
-				wvec(w, f, mpcOpened[j].E)
+				wvec(&w, f, mpcOpened[j].D)
+				wvec(&w, f, mpcOpened[j].E)
 			}
-			resps, err := l.broadcast(MsgMPCRound, l.same(w.b))
+			req, arena := w.seal()
+			resps, err := l.broadcast(MsgMPCRound, l.same(req))
+			arena.Free()
 			if err != nil {
 				return nil, err
 			}
@@ -480,13 +500,17 @@ func (l *Leader[Fd, E]) ProcessBatch(subs []*Submission) ([]bool, error) {
 			bitmap[j/8] |= 1 << uint(j%8)
 		}
 	}
-	fw := &wbuf{}
+	var fw wbuf
+	fw.grab(8 + 4 + len(bitmap) + 8)
 	fw.u64(batchID)
 	fw.blob(bitmap)
 	fw.u64(wid)
+	req, arena := fw.seal()
 	finished = true
 	t0 = l.m.start()
-	if _, err := l.broadcast(MsgFinish, l.same(fw.b)); err != nil {
+	_, err = l.broadcast(MsgFinish, l.same(req))
+	arena.Free()
+	if err != nil {
 		return nil, err
 	}
 	l.m.observeFinish(t0)
@@ -520,14 +544,19 @@ func (l *Leader[Fd, E]) batchVerify(chSt *challState[Fd, E], challID uint32, bat
 		if _, err := rand.Read(seed[:]); err != nil {
 			return nil, err
 		}
-		w := &wbuf{}
+		var w wbuf
+		hint := 4 + 8 + 1 + 4 + len(seed) + 4 + 4
+		if first {
+			hint += count * (reps + 1) * 16
+		}
+		w.grab(hint)
 		w.u32(challID)
 		w.u64(batchID)
 		if first {
 			w.u8(1)
 			for j := 0; j < count; j++ {
-				wvec(w, f, opened[j].D)
-				wvec(w, f, opened[j].E)
+				wvec(&w, f, opened[j].D)
+				wvec(&w, f, opened[j].E)
 			}
 		} else {
 			w.u8(0)
@@ -535,7 +564,9 @@ func (l *Leader[Fd, E]) batchVerify(chSt *challState[Fd, E], challID uint32, bat
 		w.blob(seed[:])
 		w.u32(uint32(sp.lo))
 		w.u32(uint32(sp.hi))
-		resps, err := l.broadcast(MsgRound2Batch, l.same(w.b))
+		req, arena := w.seal()
+		resps, err := l.broadcast(MsgRound2Batch, l.same(req))
+		arena.Free()
 		if err != nil {
 			return nil, err
 		}

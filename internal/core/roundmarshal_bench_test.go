@@ -1,0 +1,46 @@
+package core
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkRoundMarshal exercises the leader's hot-path request building:
+// a pooled arena (wbuf.grab) sized by an exact hint, the Round1-shaped
+// header and bundle blobs appended in place, the message streamed to the
+// connection writer, and the arena returned to the pool. Steady state must
+// be zero allocations per round — the CI alloc gate pins it there.
+func BenchmarkRoundMarshal(b *testing.B) {
+	const count = 64
+	bundles := make([][]byte, count)
+	for i := range bundles {
+		bundles[i] = make([]byte, 512)
+	}
+	hint := 4 + 8 + 4 + 8
+	for _, bl := range bundles {
+		hint += 4 + len(bl)
+	}
+	marshal := func() {
+		var w wbuf
+		w.grab(hint)
+		w.u32(count)
+		w.u64(0x1234)
+		w.u32(7)
+		w.u64(0x99)
+		for _, bl := range bundles {
+			w.blob(bl)
+		}
+		if _, err := w.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		_, arena := w.seal()
+		arena.Free()
+	}
+	marshal() // warm the size-classed pool so b.N=1 measures steady state
+	b.ReportAllocs()
+	b.SetBytes(int64(hint))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marshal()
+	}
+}

@@ -93,6 +93,16 @@ func (s *Server[Fd, E]) PublicKey() *sealbox.PublicKey { return s.pub }
 func (s *Server[Fd, E]) Index() int { return s.idx }
 
 // Handle implements transport.Handler.
+//
+// Contract: payload may live in a caller-owned scratch buffer that is
+// recycled the moment Handle returns — the leader builds verification-round
+// requests in a pooled arena and frees them right after the broadcast, which
+// an in-process peer (MemPeer, LoopbackPeer) delivers to Handle directly.
+// Every handler below therefore copies whatever it keeps past the return
+// (decodeBundle, rvec, and unmarshalChallenge all produce fresh memory);
+// new handlers must do the same. The returned response is handed off to the
+// transport with Handle keeping no reference, so it must be freshly
+// allocated, never pooled or cached.
 func (s *Server[Fd, E]) Handle(msgType byte, payload []byte) ([]byte, error) {
 	switch msgType {
 	case MsgSetChallenge:

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"encoding"
 	"encoding/binary"
 	"errors"
+	"io"
 
 	"prio/internal/field"
+	"prio/internal/transport"
 )
 
 // Message types of the server-to-server (and client-to-leader) protocol.
@@ -34,9 +37,63 @@ const (
 // errTruncated reports malformed wire input.
 var errTruncated = errors.New("core: truncated or malformed message")
 
-// wbuf is an append-only message writer.
+// wbuf is an append-only message writer. The zero value writes into a
+// GC-managed slice; grab backs it with a pooled arena buffer instead, which
+// is how the leader's verification rounds build requests with zero
+// steady-state allocation (see transport.GetBuf for the ownership rules).
 type wbuf struct {
-	b []byte
+	b     []byte
+	arena *transport.Buf
+}
+
+var (
+	_ io.WriterTo                = (*wbuf)(nil)
+	_ encoding.BinaryMarshaler   = (*wbuf)(nil)
+	_ encoding.BinaryUnmarshaler = (*rbuf)(nil)
+	_ io.ReaderFrom              = (*rbuf)(nil)
+)
+
+// grab backs the writer with a pooled buffer sized for hint bytes and
+// resets it. The caller owes the arena a release: either seal (caller
+// frees later) or detach (ownership passes to the result's consumer).
+func (w *wbuf) grab(hint int) {
+	w.arena = transport.GetBuf(hint)
+	w.b = w.arena.B
+}
+
+// seal returns the finished message and its arena. The bytes remain valid
+// until buf.Free(); the writer is left reset for reuse.
+func (w *wbuf) seal() (msg []byte, buf *transport.Buf) {
+	buf = w.arena
+	if buf != nil {
+		buf.B = w.b // the slice may have outgrown the arena's original header
+	}
+	msg = w.b
+	w.b = nil
+	w.arena = nil
+	return msg, buf
+}
+
+// detach returns the finished message and drops the arena box: the bytes
+// are handed off with unknown lifetime (a handler response escaping to the
+// transport layer), so they must not return to the pool from here.
+func (w *wbuf) detach() []byte {
+	msg := w.b
+	w.b = nil
+	w.arena = nil
+	return msg
+}
+
+// WriteTo implements io.WriterTo, streaming the accumulated message.
+func (w *wbuf) WriteTo(dst io.Writer) (int64, error) {
+	n, err := dst.Write(w.b)
+	return int64(n), err
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler with a defensive copy,
+// since the accumulated bytes may live in a pooled arena.
+func (w *wbuf) MarshalBinary() ([]byte, error) {
+	return append([]byte(nil), w.b...), nil
 }
 
 func (w *wbuf) u8(v byte)     { w.b = append(w.b, v) }
@@ -117,3 +174,17 @@ func rvec[Fd field.Field[E], E any](r *rbuf, f Fd, n int) []E {
 
 // done reports whether the buffer was fully and cleanly consumed.
 func (r *rbuf) done() bool { return r.err == nil && r.off == len(r.b) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: the reader cursors
+// over data without copying it (blob results alias the input).
+func (r *rbuf) UnmarshalBinary(data []byte) error {
+	*r = rbuf{b: data}
+	return nil
+}
+
+// ReadFrom implements io.ReaderFrom, loading the reader from a stream.
+func (r *rbuf) ReadFrom(src io.Reader) (int64, error) {
+	data, err := io.ReadAll(src)
+	*r = rbuf{b: data}
+	return int64(len(data)), err
+}

@@ -59,16 +59,16 @@ type StreamSubmitter struct {
 	fc    *transport.FrameConn
 	onAck func(Ack)
 
-	credits chan struct{} // tokens: receive to spend, send to return
-	writeq  chan []byte   // framed submit payloads awaiting the writer
+	writeq chan *transport.Buf // framed submit payloads awaiting the writer
 
 	dead chan struct{} // closed on first failure or Close
 
 	mu          sync.Mutex
-	cond        *sync.Cond // signaled when outstanding hits zero or the stream dies
+	cond        *sync.Cond // signaled when the window opens, outstanding hits zero, or the stream dies
 	pending     map[uint64]time.Time
 	nextID      uint64
 	outstanding int
+	limit       int // the server's current window grant (msgCredit retunes it)
 	err         error
 
 	stats SubmitterStats
@@ -108,37 +108,44 @@ func Dial(addr string, cfg SubmitterConfig) (*StreamSubmitter, error) {
 	}
 
 	s := &StreamSubmitter{
-		fc:      fc,
-		onAck:   cfg.OnAck,
-		credits: make(chan struct{}, credits),
-		writeq:  make(chan []byte, credits),
+		fc: fc,
+		onAck: cfg.OnAck,
+		// The queue outgrows the initial window so a dynamic-credit grow
+		// (msgCredit) widens the pipeline without the writer queue becoming
+		// the new bottleneck.
+		writeq:  make(chan *transport.Buf, max(2*credits, 256)),
 		dead:    make(chan struct{}),
 		pending: make(map[uint64]time.Time),
+		limit:   credits,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < credits; i++ {
-		s.credits <- struct{}{}
-	}
 	go s.readLoop()
 	go s.writeLoop()
 	return s, nil
 }
 
-// Credits returns the server's window grant for this stream.
-func (s *StreamSubmitter) Credits() int { return cap(s.credits) }
+// Credits returns the server's current window grant for this stream. Under
+// dynamic credits it moves with the server's msgCredit retunes.
+func (s *StreamSubmitter) Credits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
 
 // Submit queues one submission on the stream and returns its ID, blocking
 // while the credit window is exhausted (the server is behind — queue here
 // rather than on its floor). The decision arrives asynchronously via OnAck;
 // Wait blocks until every outstanding submission is decided.
 func (s *StreamSubmitter) Submit(sub *core.Submission) (uint64, error) {
-	start := time.Now() // credit wait is part of the measured latency
-	select {
-	case <-s.credits:
-	case <-s.dead:
+	start := time.Now() // window wait is part of the measured latency
+	s.mu.Lock()
+	for s.err == nil && s.outstanding >= s.limit {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		s.mu.Unlock()
 		return 0, s.Err()
 	}
-	s.mu.Lock()
 	s.nextID++
 	id := s.nextID
 	s.pending[id] = start
@@ -230,10 +237,14 @@ func (s *StreamSubmitter) fail(err error) {
 // queue momentarily empties — the batching that turns many small Submits
 // into few syscalls without adding latency under light load.
 func (s *StreamSubmitter) writeLoop() {
+	// Each payload lives in a pooled buffer; WriteFrame copies it into the
+	// connection's write buffer, after which it goes back to the arena.
 	for {
 		select {
 		case payload := <-s.writeq:
-			if err := s.fc.WriteFrame(msgSubmit, payload); err != nil {
+			err := s.fc.WriteFrame(msgSubmit, payload.B)
+			payload.Free()
+			if err != nil {
 				s.fail(err)
 				return
 			}
@@ -241,7 +252,9 @@ func (s *StreamSubmitter) writeLoop() {
 			for {
 				select {
 				case payload := <-s.writeq:
-					if err := s.fc.WriteFrame(msgSubmit, payload); err != nil {
+					err := s.fc.WriteFrame(msgSubmit, payload.B)
+					payload.Free()
+					if err != nil {
 						s.fail(err)
 						return
 					}
@@ -274,6 +287,20 @@ func (s *StreamSubmitter) readLoop() {
 				s.fail(err)
 				return
 			}
+		case msgCredit:
+			if len(payload) != 4 {
+				s.fail(errProto)
+				return
+			}
+			n := int(binary.LittleEndian.Uint32(payload))
+			if n < 1 || n > 1<<20 {
+				s.fail(fmt.Errorf("ingest: implausible credit retune %d", n))
+				return
+			}
+			s.mu.Lock()
+			s.limit = n
+			s.cond.Broadcast() // a grow may unblock window-waiting Submits
+			s.mu.Unlock()
 		case transport.MsgError:
 			s.fail(fmt.Errorf("ingest: server error: %s", payload))
 			return
@@ -291,9 +318,9 @@ func (s *StreamSubmitter) complete(id uint64, status AckStatus) {
 	if ok {
 		delete(s.pending, id)
 		s.outstanding--
-		if s.outstanding == 0 {
-			s.cond.Broadcast()
-		}
+		// Wake window-blocked Submits (the slot this ack frees) and Wait
+		// (when the stream drained).
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -308,10 +335,6 @@ func (s *StreamSubmitter) complete(id uint64, status AckStatus) {
 		atomic.AddUint64(&s.stats.Shed, 1)
 	case StatusFailed:
 		atomic.AddUint64(&s.stats.Failed, 1)
-	}
-	select {
-	case s.credits <- struct{}{}:
-	default: // over-grant from a confused server; cap at the hello window
 	}
 	if s.onAck != nil {
 		s.onAck(Ack{ID: id, Status: status, Latency: time.Since(start)})

@@ -1,0 +1,157 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+// waitCredits polls a submitter's window until cond holds or the deadline
+// passes, returning the last observed window either way.
+func waitCredits(s *StreamSubmitter, cond func(int) bool) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := s.Credits()
+		if cond(n) || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDynamicCreditsTuning drives one busy and one idle stream against a
+// dynamic-credit server and checks the asymmetry the tuner exists for: the
+// busy stream's window grows toward the intake queue's free space (clamped
+// to MaxCredits) while the idle stream decays to MinCredits — and once the
+// busy stream quiesces, it decays to the floor too. Every submission must
+// still be decided accepted: growing and shrinking windows shed nothing.
+func TestDynamicCreditsTuning(t *testing.T) {
+	gate := make(chan struct{})
+	sink := &fakeSink{gate: gate}
+	cfg := Config{
+		Credits:        8,
+		MinCredits:     4,
+		MaxCredits:     64,
+		QueueDepth:     256,
+		DynamicCredits: true,
+		TuneInterval:   10 * time.Millisecond,
+	}
+	_, addr, stop := serveIngest(t, sink, cfg)
+	defer stop()
+
+	busy, err := Dial(addr, SubmitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	idle, err := Dial(addr, SubmitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	if got := busy.Credits(); got != cfg.Credits {
+		t.Fatalf("initial window = %d, want the static grant %d", got, cfg.Credits)
+	}
+
+	// Park the hello grant's worth of submissions in flight: the gated sink
+	// never decides, so the stream stays busy across tune ticks.
+	const parked = 8
+	for i := 0; i < parked; i++ {
+		if _, err := busy.Submit(testSub(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := waitCredits(busy, func(n int) bool { return n == cfg.MaxCredits }); got != cfg.MaxCredits {
+		t.Errorf("busy stream window = %d, want grown to MaxCredits %d", got, cfg.MaxCredits)
+	}
+	if got := waitCredits(idle, func(n int) bool { return n == cfg.MinCredits }); got != cfg.MinCredits {
+		t.Errorf("idle stream window = %d, want decayed to MinCredits %d", got, cfg.MinCredits)
+	}
+
+	// Release the sink; once the acks drain, the busy stream has neither
+	// in-flight submissions nor fresh receives, so it decays to the floor.
+	close(gate)
+	if err := busy.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitCredits(busy, func(n int) bool { return n == cfg.MinCredits }); got != cfg.MinCredits {
+		t.Errorf("quiesced stream window = %d, want decayed to MinCredits %d", got, cfg.MinCredits)
+	}
+
+	st := busy.Stats()
+	if st.Accepted != parked || st.Shed != 0 || st.Rejected != 0 || st.Failed != 0 {
+		t.Errorf("busy stream stats = %+v, want %d accepted and no losses", st, parked)
+	}
+}
+
+// TestDynamicCreditsGrowUnblocksSubmit proves a grow retune takes effect
+// mid-flight: a submitter blocked on an exhausted static window proceeds as
+// soon as the tuner widens it, without waiting for any ack.
+func TestDynamicCreditsGrowUnblocksSubmit(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	sink := &fakeSink{gate: gate}
+	cfg := Config{
+		Credits:        4,
+		MinCredits:     4,
+		MaxCredits:     32,
+		QueueDepth:     128,
+		DynamicCredits: true,
+		TuneInterval:   10 * time.Millisecond,
+	}
+	_, addr, stop := serveIngest(t, sink, cfg)
+	defer stop()
+
+	sub, err := Dial(addr, SubmitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Exhaust the hello window, then submit one more: with no acks coming
+	// (gated sink) only a grow retune can admit it.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.Credits+1; i++ {
+			if _, err := sub.Submit(testSub(byte(i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit beyond the static window never unblocked; grow retune not applied")
+	}
+}
+
+// TestDynamicCreditsOffKeepsStaticWindow pins the escape hatch: without
+// DynamicCredits the window never moves, no matter how busy the stream is.
+func TestDynamicCreditsOffKeepsStaticWindow(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	sink := &fakeSink{gate: gate}
+	_, addr, stop := serveIngest(t, sink, Config{Credits: 8, QueueDepth: 256})
+	defer stop()
+
+	sub, err := Dial(addr, SubmitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := sub.Submit(testSub(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := sub.Credits(); got != 8 {
+		t.Fatalf("static-mode window = %d, want 8 forever", got)
+	}
+}

@@ -492,7 +492,7 @@ func TestNonReadingFloodDoesNotWedge(t *testing.T) {
 	// Flood without ever reading an ack. Acks pile into the kernel buffers,
 	// then into the server's ack channel; once that overflows the server
 	// must kill the stream, surfacing here as a write error.
-	payload := encodeSubmit(0, testSub(1))
+	payload := append([]byte(nil), encodeSubmit(0, testSub(1)).B...)
 	killed := false
 	for i := 0; i < 2_000_000; i++ {
 		binary.LittleEndian.PutUint64(payload, uint64(i+1))

@@ -24,6 +24,9 @@ type ingestMetrics struct {
 	intakeDur *telemetry.DurationHistogram // wait in the intake queue before the pump drains it
 	decision  *telemetry.DurationHistogram // frame decode → ack decision, any outcome
 
+	retunes     *telemetry.Counter // dynamic-credit window changes pushed to clients
+	busyStreams int64              // streams the last tune tick saw submitting (atomic)
+
 	// Wire totals fold each closed stream's FrameConn counters into these;
 	// the registered CounterFuncs add the live streams on top, so the
 	// exported series never move backwards when a stream closes.
@@ -52,6 +55,8 @@ func newIngestMetrics(reg *telemetry.Registry, s *Server) *ingestMetrics {
 			"time a parked submission waits in the intake queue before the pump drains it"),
 		decision: reg.Duration("prio_ingest_decision_seconds",
 			"submit frame decode to ack decision, across all outcomes"),
+		retunes: reg.Counter("prio_ingest_credit_retunes_total",
+			"dynamic-credit window retunes pushed to clients"),
 	}
 	wire := func(v *uint64, fc func(*transport.Stats) *uint64) func() uint64 {
 		return func() uint64 {
@@ -87,7 +92,32 @@ func newIngestMetrics(reg *telemetry.Registry, s *Server) *ingestMetrics {
 			s.mu.Unlock()
 			return float64(n)
 		})
+	reg.GaugeFunc("prio_ingest_busy_streams",
+		"streams the last dynamic-credit tick saw submitting",
+		func() float64 { return float64(atomic.LoadInt64(&m.busyStreams)) })
+	reg.GaugeFunc("prio_ingest_credit_target",
+		"mean per-stream window target across open streams",
+		func() float64 {
+			s.mu.Lock()
+			total, n := 0, 0
+			for _, st := range s.streams {
+				st.cmu.Lock()
+				total += st.target
+				st.cmu.Unlock()
+				n++
+			}
+			s.mu.Unlock()
+			if n == 0 {
+				return 0
+			}
+			return float64(total) / float64(n)
+		})
 	return m
+}
+
+// setBusyStreams records the busy-stream count from the latest tune tick.
+func (m *ingestMetrics) setBusyStreams(n int) {
+	atomic.StoreInt64(&m.busyStreams, int64(n))
 }
 
 // countAck records one decision in the registry counters.

@@ -25,8 +25,10 @@ type Sink interface {
 
 // Defaults for Config's zero values.
 const (
-	DefaultCredits    = 64
-	DefaultQueueDepth = 1024
+	DefaultCredits      = 64
+	DefaultQueueDepth   = 1024
+	DefaultMinCredits   = 16
+	DefaultTuneInterval = 100 * time.Millisecond
 )
 
 // Config tunes the server side of the ingest subsystem.
@@ -55,6 +57,21 @@ type Config struct {
 	// clients dialing a non-leader get an immediate, descriptive refusal
 	// (naming the sitting leader) instead of a silently idle stream.
 	Gate func() error
+	// DynamicCredits turns on per-stream window tuning: a background tuner
+	// divides the intake queue's free space among the streams that are
+	// actually submitting, so a few busy streams may grow their windows up
+	// to MaxCredits while idle streams decay to MinCredits and keep the
+	// aggregate exposure bounded. Off, every stream keeps the static
+	// Credits window for its whole life, as before.
+	DynamicCredits bool
+	// MinCredits floors a tuned window (default 16): even an idle stream
+	// can burst this far before its first retune.
+	MinCredits int
+	// MaxCredits caps a tuned window (default 8×Credits): one monopolist
+	// stream cannot grow past it no matter how empty the queue is.
+	MaxCredits int
+	// TuneInterval is the retune cadence (default 100ms).
+	TuneInterval time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -64,6 +81,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MinCredits <= 0 {
+		c.MinCredits = DefaultMinCredits
+	}
+	if c.MinCredits > c.Credits {
+		c.MinCredits = c.Credits
+	}
+	if c.MaxCredits < c.Credits {
+		c.MaxCredits = 8 * c.Credits
+	}
+	if c.TuneInterval <= 0 {
+		c.TuneInterval = DefaultTuneInterval
 	}
 	return c
 }
@@ -117,6 +146,10 @@ func NewServer(sink Sink, cfg Config) *Server {
 	s.m = newIngestMetrics(reg, s)
 	s.wg.Add(1)
 	go s.pump()
+	if s.cfg.DynamicCredits {
+		s.wg.Add(1)
+		go s.tune()
+	}
 	return s
 }
 
@@ -212,16 +245,28 @@ func (s *Server) pump() {
 }
 
 // stream is the server side of one ingest connection.
+//
+// The credit state follows the HTTP/2 flow-control shape rather than a bare
+// counter so the window can move while submissions are in flight: target is
+// what the tuner wants, window is what is enforced right now, and inflight
+// is the charge against it. A grow raises window immediately; a shrink only
+// lowers target, and window decays one slot per ack (see finish) — so a
+// submission sent legally under the old window is never shed retroactively.
 type stream struct {
 	id  uint64
 	srv *Server
 	fc  *transport.FrameConn
 
-	credits int64 // remaining window, server's view (atomic)
-	acks    chan ackEntry
-	dead    chan struct{}
-	once    sync.Once
-	stats   Stats
+	cmu      sync.Mutex
+	target   int
+	window   int
+	inflight int
+	lastRecv uint64 // Received at the previous tune tick (tuner-only)
+
+	acks  chan ackEntry
+	dead  chan struct{}
+	once  sync.Once
+	stats Stats
 }
 
 // kill marks the stream dead and closes its connection, releasing anything
@@ -245,7 +290,14 @@ func (st *stream) kill() {
 func (st *stream) finish(id uint64, status AckStatus) {
 	st.stats.countAck(status)
 	st.srv.m.countAck(status)
-	atomic.AddInt64(&st.credits, 1)
+	st.cmu.Lock()
+	if st.inflight > 0 {
+		st.inflight--
+	}
+	if st.window > st.target {
+		st.window-- // retire one slot of a pending shrink
+	}
+	st.cmu.Unlock()
 	select {
 	case st.acks <- ackEntry{id: id, status: status}:
 	case <-st.dead:
@@ -287,12 +339,13 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 	}
 	s.nextID++
 	st := &stream{
-		id:      s.nextID,
-		srv:     s,
-		fc:      fc,
-		credits: int64(s.cfg.Credits),
-		acks:    make(chan ackEntry, s.cfg.Credits+16),
-		dead:    make(chan struct{}),
+		id:     s.nextID,
+		srv:    s,
+		fc:     fc,
+		target: s.cfg.Credits,
+		window: s.cfg.Credits,
+		acks:   make(chan ackEntry, s.cfg.MaxCredits+16),
+		dead:   make(chan struct{}),
 	}
 	s.streams[st.id] = st
 	s.streamWG.Add(1)
@@ -357,10 +410,14 @@ func (s *Server) handleStream(open []byte, fc *transport.FrameConn) {
 // submit frame's decode time for the latency histograms.
 func (st *stream) route(id uint64, sub *core.Submission, rcv time.Time) {
 	s := st.srv
-	// Spend one credit. A submission past the granted window is shed
-	// unverified; its ack (like every ack) hands the credit back, so a
+	// Spend one window slot. A submission past the granted window is shed
+	// unverified; its ack (like every ack) hands the slot back, so a
 	// client that raced a little ahead recovers instead of wedging.
-	if atomic.AddInt64(&st.credits, -1) < 0 {
+	st.cmu.Lock()
+	st.inflight++
+	over := st.inflight > st.window
+	st.cmu.Unlock()
+	if over {
 		sub.Trace.Finish("shed")
 		st.decide(id, StatusShed, rcv)
 		return
@@ -388,6 +445,96 @@ func (st *stream) route(id uint64, sub *core.Submission, rcv time.Time) {
 		sub.Trace.Finish("shed")
 		st.decide(id, StatusShed, rcv)
 	}
+}
+
+// tune is the dynamic-credit loop: every TuneInterval it divides the intake
+// queue's free space among the streams that submitted since the last tick
+// (or still have submissions in flight), clamps the share to
+// [MinCredits, MaxCredits], and decays idle streams to MinCredits. Retunes
+// within 12.5% of the current target are suppressed so a steady load does
+// not generate a msgCredit drizzle. The intent is the asymmetric fairness
+// the intake queue wants: a handful of busy streams may take the whole
+// queue between them, while thousands of idle streams keep only the floor
+// exposure.
+func (s *Server) tune() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.TuneInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		streams := make([]*stream, 0, len(s.streams))
+		for _, st := range s.streams {
+			streams = append(streams, st)
+		}
+		s.mu.Unlock()
+		if len(streams) == 0 {
+			s.m.setBusyStreams(0)
+			continue
+		}
+		busy := make([]bool, len(streams))
+		nbusy := 0
+		for i, st := range streams {
+			recv := atomic.LoadUint64(&st.stats.Received)
+			st.cmu.Lock()
+			active := st.inflight > 0 || recv != st.lastRecv
+			st.lastRecv = recv
+			st.cmu.Unlock()
+			if active {
+				busy[i] = true
+				nbusy++
+			}
+		}
+		s.m.setBusyStreams(nbusy)
+		free := s.cfg.QueueDepth - len(s.intake)
+		share := s.cfg.MinCredits
+		if nbusy > 0 {
+			share = free / nbusy
+		}
+		share = min(max(share, s.cfg.MinCredits), s.cfg.MaxCredits)
+		for i, st := range streams {
+			want := s.cfg.MinCredits
+			if busy[i] {
+				want = share
+			}
+			st.retune(want)
+		}
+	}
+}
+
+// retune moves one stream's window target to want, unless the change is
+// within the hysteresis band. Grows take effect immediately; shrinks drain
+// via finish. The client is informed with a msgCredit frame; a write error
+// is ignored here because the stream's reader owns failure handling.
+func (st *stream) retune(want int) {
+	st.cmu.Lock()
+	cur := st.target
+	if 8*abs(want-cur) <= cur {
+		st.cmu.Unlock()
+		return
+	}
+	st.target = want
+	if want > st.window {
+		st.window = want
+	}
+	st.cmu.Unlock()
+	st.srv.m.retunes.Inc()
+	var msg [4]byte
+	binary.LittleEndian.PutUint32(msg[:], uint32(want))
+	if st.fc.WriteFrame(msgCredit, msg[:]) == nil {
+		st.fc.Flush()
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // ackLoop batches decided submissions into ack frames. One frame per wakeup

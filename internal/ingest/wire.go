@@ -17,6 +17,13 @@ const (
 	msgHello  byte = 0x20 // server → client: u32 credit grant
 	msgSubmit byte = 0x21 // client → server: u64 id ‖ Submission.Marshal
 	msgAcks   byte = 0x22 // server → client: u32 n, then n × (u64 id ‖ u8 status)
+	// msgCredit retunes the stream's window mid-flight (dynamic credits):
+	// the client raises its submit limit immediately on a grow and lets a
+	// shrink take effect as outstanding submissions drain. The server
+	// enforces the shrink the same way — one window slot retired per ack —
+	// so a submission sent legally under the old window is never shed for
+	// arriving after the retune.
+	msgCredit byte = 0x23 // server → client: u32 new window
 )
 
 // errProto reports a malformed ingest frame.
@@ -73,12 +80,18 @@ type ackEntry struct {
 	status AckStatus
 }
 
-// encodeSubmit frames one submission under its stream-local ID.
-func encodeSubmit(id uint64, sub *core.Submission) []byte {
-	body := sub.Marshal()
-	out := make([]byte, 8, 8+len(body))
-	binary.LittleEndian.PutUint64(out, id)
-	return append(out, body...)
+// encodeSubmit frames one submission under its stream-local ID into a
+// pooled buffer; the write loop returns it to the arena after the frame is
+// copied into the connection's write buffer.
+func encodeSubmit(id uint64, sub *core.Submission) *transport.Buf {
+	size := 8 + 4
+	for _, b := range sub.Bundles {
+		size += 4 + len(b)
+	}
+	buf := transport.GetBuf(size)
+	buf.B = binary.LittleEndian.AppendUint64(buf.B, id)
+	buf.B = sub.AppendBinary(buf.B)
+	return buf
 }
 
 // decodeSubmit parses a submit frame.

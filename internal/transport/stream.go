@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"crypto/tls"
+	"encoding/binary"
 	"net"
 	"sync"
 )
@@ -85,6 +86,37 @@ func (f *FrameConn) WriteFrame(msgType byte, payload []byte) error {
 		return err
 	}
 	f.stats.add(true, frameLen(payload))
+	return nil
+}
+
+// WriteFrameParts appends one frame whose payload is the concatenation of
+// parts, without assembling them first: the header and each part are copied
+// directly into the connection's write buffer under the write lock. This is
+// the zero-intermediate path the verification rounds ride — a correlation
+// header on the stack plus a pooled message body reach the wire with no
+// joined []byte ever existing.
+func (f *FrameConn) WriteFrameParts(msgType byte, parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > MaxFrame {
+		return ErrFrameSize
+	}
+	var hdr [5]byte
+	hdr[0] = msgType
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(total))
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if _, err := f.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := f.w.Write(p); err != nil {
+			return err
+		}
+	}
+	f.stats.add(true, 5+total)
 	return nil
 }
 

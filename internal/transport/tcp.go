@@ -83,6 +83,7 @@ type Server struct {
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	stream StreamHandler
+	protos map[string]StreamHandler
 	conns  map[net.Conn]struct{}
 	closed bool
 }
@@ -90,9 +91,12 @@ type Server struct {
 // Serve starts accepting on ln; it returns immediately and handles
 // connections on background goroutines. The handler is wrapped with
 // BatchHandler, so every served endpoint understands MsgBatched envelopes
-// from Coalescer-wrapped peers.
+// from Coalescer-wrapped peers, and the rounds subprotocol is registered
+// over the same handler, so every served endpoint also speaks streamed
+// verification rounds (StreamPeer clients).
 func Serve(ln net.Listener, h Handler) *Server {
 	s := &Server{ln: ln, h: BatchHandler(h), conns: make(map[net.Conn]struct{})}
+	s.protos = map[string]StreamHandler{RoundsProto: roundsDispatcher(s.h)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -122,6 +126,27 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 func (s *Server) OnStream(h StreamHandler) {
 	s.mu.Lock()
 	s.stream = h
+	s.mu.Unlock()
+}
+
+// OnStreamProto registers a handler for one named subprotocol: a stream
+// whose MsgStreamOpen payload equals proto goes to h instead of the default
+// OnStream handler. Serve pre-registers RoundsProto this way.
+func (s *Server) OnStreamProto(proto string, h StreamHandler) {
+	s.mu.Lock()
+	s.protos[proto] = h
+	s.mu.Unlock()
+}
+
+// DropConns severs every active connection while leaving the listener up —
+// clients see a transport error and re-dial onto the same server. It exists
+// for fault-injection tests (a mid-round connection loss without a process
+// kill); production failover drills kill the process instead.
+func (s *Server) DropConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 }
 
@@ -176,7 +201,10 @@ func (s *Server) acceptLoop() {
 				}
 				if msgType == MsgStreamOpen {
 					s.mu.Lock()
-					sh := s.stream
+					sh, ok := s.protos[string(payload)]
+					if !ok {
+						sh = s.stream
+					}
 					s.mu.Unlock()
 					if sh == nil {
 						_ = writeFrame(conn, MsgError, []byte("transport: no stream handler"))

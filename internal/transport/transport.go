@@ -83,21 +83,44 @@ func writeFrame(w io.Writer, msgType byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one tagged frame from r.
+// readFrame reads one tagged frame from r. The payload buffer grows
+// geometrically from at most 1 MiB rather than trusting the 4-byte length
+// up front: a peer that announces a 256 MB frame must actually send the
+// bytes before this side commits the memory, so a forged header costs the
+// attacker bandwidth instead of costing us an allocation. Frames at or
+// below the initial step — every frame the protocol sends in practice —
+// still take the single-allocation fast path.
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
 	if n > MaxFrame {
 		return 0, nil, ErrFrameSize
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	const step = 1 << 20
+	if n <= step {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+		return hdr[0], payload, nil
 	}
-	return hdr[0], payload, nil
+	payload := make([]byte, step)
+	read := 0
+	for {
+		if _, err := io.ReadFull(r, payload[read:]); err != nil {
+			return 0, nil, err
+		}
+		read = len(payload)
+		if read == n {
+			return hdr[0], payload, nil
+		}
+		grown := make([]byte, min(2*read, n))
+		copy(grown, payload)
+		payload = grown
+	}
 }
 
 // MemPeer is an in-process Peer that invokes a Handler directly while

@@ -225,11 +225,32 @@ func ConnectLeader(srv *Server, addrs []string) (*Leader, error) {
 // ConnectLeaderTLS makes srv the deployment leader, connecting to every
 // other server by address (with TLS when tlsCfg is non-nil). addrs must have
 // one entry per server index; the entry for srv itself is ignored (a
-// loopback is used). Dialed peers are wrapped in request coalescers, so
-// concurrent leader sessions (NewPipeline) merge their in-flight rounds into
-// batched frames on each connection; a serial leader passes through the
-// coalescer untouched.
+// loopback is used). Peers ride the streamed rounds subprotocol: one
+// persistent pipelined connection each, with correlation IDs matching
+// replies to in-flight calls, so concurrent leader sessions (NewPipeline)
+// overlap their verification rounds on the wire instead of queueing behind
+// one another. Connections are dialed lazily on first use and re-dialed
+// after transport failures, so boot order across the deployment's servers
+// does not matter. ConnectLeaderLegacyTLS keeps the request/response path.
 func ConnectLeaderTLS(srv *Server, addrs []string, tlsCfg *tls.Config) (*Leader, error) {
+	peers := make([]transport.Peer, len(addrs))
+	for i, addr := range addrs {
+		if i == srv.Index() {
+			peers[i] = &transport.LoopbackPeer{Handler: srv.Handler()}
+			continue
+		}
+		peers[i] = transport.NewStreamPeer(addr, tlsCfg)
+	}
+	return core.NewLeader(srv, peers)
+}
+
+// ConnectLeaderLegacyTLS is ConnectLeaderTLS on the pre-streaming transport:
+// eagerly dialed request/response connections wrapped in request coalescers,
+// so concurrent leader sessions merge their in-flight rounds into batched
+// frames. It exists as the -legacy-rpc escape hatch (and as the comparison
+// baseline for BenchmarkStreamedRounds); both paths produce identical accept
+// sets.
+func ConnectLeaderLegacyTLS(srv *Server, addrs []string, tlsCfg *tls.Config) (*Leader, error) {
 	peers := make([]transport.Peer, len(addrs))
 	for i, addr := range addrs {
 		if i == srv.Index() {

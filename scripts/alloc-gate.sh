@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# alloc-gate.sh — allocation-regression gate for the streamed verification
+# hot path.
+#
+# Runs the two gate benchmarks once each with -benchmem and asserts:
+#   - BenchmarkRoundMarshal: exactly 0 allocs/op. The leader builds round
+#     requests in pooled arenas; any allocation here is a pooling regression.
+#   - BenchmarkStreamedRounds/Streamed: at most ${STREAMED_ALLOC_CEILING}
+#     allocs/op end-to-end (one submission through a 4-shard pipeline over
+#     latency-injected TCP, measured steady-state after warm-up). The
+#     ceiling is pinned ~4x above the current figure, so it only trips on a
+#     structural regression, not benchmark noise.
+#
+# Runs locally (./scripts/alloc-gate.sh) and in the CI bench job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STREAMED_ALLOC_CEILING="${STREAMED_ALLOC_CEILING:-2500}"
+OUT="$(mktemp)"
+trap 'rm -f "${OUT}"' EXIT
+
+echo "== alloc gate: BenchmarkRoundMarshal (0 allocs/op)"
+go test -run '^$' -bench '^BenchmarkRoundMarshal$' -benchmem -benchtime=1x \
+  ./internal/core/ | tee "${OUT}"
+echo "== alloc gate: BenchmarkStreamedRounds/Streamed (<= ${STREAMED_ALLOC_CEILING} allocs/op)"
+go test -run '^$' -bench '^BenchmarkStreamedRounds/Streamed$' -benchmem -benchtime=1x \
+  . | tee -a "${OUT}"
+
+awk -v ceiling="${STREAMED_ALLOC_CEILING}" '
+/^BenchmarkRoundMarshal/ {
+  seen_rm = 1
+  for (i = 1; i <= NF; i++) if ($i == "allocs/op") a = $(i-1)
+  if (a + 0 != 0) { printf "FAIL: BenchmarkRoundMarshal %s allocs/op, want 0\n", a; bad = 1 }
+}
+/^BenchmarkStreamedRounds\/Streamed/ {
+  seen_sr = 1
+  for (i = 1; i <= NF; i++) if ($i == "allocs/op") a = $(i-1)
+  if (a + 0 > ceiling) { printf "FAIL: BenchmarkStreamedRounds/Streamed %s allocs/op, ceiling %d\n", a, ceiling; bad = 1 }
+}
+END {
+  if (!seen_rm) { print "FAIL: BenchmarkRoundMarshal did not run"; bad = 1 }
+  if (!seen_sr) { print "FAIL: BenchmarkStreamedRounds/Streamed did not run"; bad = 1 }
+  exit bad
+}' "${OUT}"
+
+echo "PASS: alloc gate"
